@@ -1,0 +1,77 @@
+// Command mrbench regenerates the paper's evaluation artifacts (see
+// DESIGN.md's experiment index):
+//
+//	mrbench -experiment table1 -scale 200            # Table 1 (E1+E2)
+//	mrbench -experiment table1 -skip-ilp -scale 50   # MLL columns only
+//	mrbench -experiment relax                        # §6 relaxation (E3)
+//	mrbench -experiment evalablation                 # approx vs exact (E4)
+//	mrbench -experiment window -bench fft_1          # Rx/Ry sweep (E5)
+//	mrbench -experiment baselines                    # Abacus/greedy (E6)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mrlegal/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling")
+		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
+		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
+		only    = flag.String("only", "", "comma-separated benchmark name filter")
+		bench   = flag.String("bench", "fft_1", "benchmark for the window sweep")
+		seed    = flag.Int64("seed", 0, "seed offset for sensitivity runs")
+		nodes   = flag.Int("ilp-nodes", 0, "branch & bound node cap per local MILP (0 = default)")
+		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
+	)
+	flag.Parse()
+
+	cfg := experiments.Table1Config{
+		Scale:       *scale,
+		SkipILP:     *skipILP,
+		Seed:        *seed,
+		ILPMaxNodes: *nodes,
+	}
+	if *only != "" {
+		cfg.Only = strings.Split(*only, ",")
+	}
+	if !*quietP {
+		cfg.Progress = os.Stderr
+	}
+
+	switch *exp {
+	case "table1":
+		rows := experiments.RunTable1(cfg)
+		experiments.PrintTable1(os.Stdout, rows, cfg.SkipILP)
+	case "relax":
+		rows := experiments.RunTable1(cfg)
+		experiments.PrintRelaxation(os.Stdout, experiments.Relaxation(rows), !cfg.SkipILP)
+	case "evalablation":
+		rows := experiments.RunEvalAblation(cfg)
+		experiments.PrintEvalAblation(os.Stdout, rows)
+	case "window":
+		rows := experiments.RunWindowSweep(cfg, *bench,
+			[]int{10, 20, 30, 50}, []int{2, 5, 8})
+		experiments.PrintWindowSweep(os.Stdout, *bench, rows)
+	case "baselines":
+		rows := experiments.RunBaselines(cfg)
+		experiments.PrintBaselines(os.Stdout, rows)
+	case "heightmix":
+		rows := experiments.RunHeightMix(cfg)
+		experiments.PrintHeightMix(os.Stdout, rows)
+	case "order":
+		rows := experiments.RunOrderAblation(cfg)
+		experiments.PrintOrderAblation(os.Stdout, rows)
+	case "scaling":
+		rows := experiments.RunScaling(cfg, *bench, []int{800, 400, 200, 100, 50, 25})
+		experiments.PrintScaling(os.Stdout, *bench, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

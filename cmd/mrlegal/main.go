@@ -1,0 +1,148 @@
+// Command mrlegal legalizes a design in the mrlegal text format using the
+// paper's MLL algorithm (or the ILP baseline with -ilp), verifies the
+// result, prints the Table-1 metrics and writes the legalized design.
+//
+// Usage:
+//
+//	mrgen -name demo -cells 2000 -density 0.6 | mrlegal -o legal.mr
+//	mrlegal -in fft_1.mr -ilp -noalign -o /dev/null
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mrlegal/internal/bookshelf"
+	"mrlegal/internal/core"
+	"mrlegal/internal/design"
+	"mrlegal/internal/ilplegal"
+	"mrlegal/internal/iodesign"
+	"mrlegal/internal/netlist"
+	"mrlegal/internal/render"
+	"mrlegal/internal/verify"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "input design file ('-' = stdin)")
+		out     = flag.String("o", "-", "output design file ('-' = stdout, '' = none)")
+		rx      = flag.Int("rx", 30, "local region half-width Rx (sites)")
+		ry      = flag.Int("ry", 5, "local region half-height Ry (rows)")
+		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
+		exact   = flag.Bool("exact", false, "use exact insertion-point evaluation instead of the paper's approximation")
+		useILP  = flag.Bool("ilp", false, "use the ILP local solver baseline instead of MLL")
+		seed    = flag.Int64("seed", 1, "retry-offset random seed")
+		quiet   = flag.Bool("q", false, "suppress the metrics report")
+		svg     = flag.String("svg", "", "also write an SVG rendering (with displacement vectors) to this file")
+	)
+	flag.Parse()
+
+	var d *design.Design
+	var nl *netlist.Netlist
+	if strings.HasSuffix(*in, ".aux") {
+		dir, base := filepath.Split(*in)
+		if dir == "" {
+			dir = "."
+		}
+		var err error
+		d, nl, err = bookshelf.Read(bookshelf.DirFS(dir), base)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		d, nl, err = iodesign.Read(r)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	before := nl.HPWL(d)
+
+	cfg := core.DefaultConfig()
+	cfg.Rx, cfg.Ry = *rx, *ry
+	cfg.PowerAlign = !*noalign
+	cfg.ExactEval = *exact
+	cfg.Seed = *seed
+	if *useILP {
+		cfg.Solver = &ilplegal.Solver{}
+	}
+	l, err := core.NewLegalizer(d, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if err := l.Legalize(); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if vs := verify.Check(d, verify.Options{RequirePlaced: true, PowerAlignment: cfg.PowerAlign}, 5); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintf(os.Stderr, "mrlegal: VIOLATION %s\n", v)
+		}
+		os.Exit(2)
+	}
+	if !*quiet {
+		_, avg := d.TotalDispSites()
+		after := nl.HPWL(d)
+		st := l.Stats()
+		fmt.Fprintf(os.Stderr, "legalized %d cells in %s\n", len(d.Cells), elapsed.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "  avg displacement : %.4f site widths\n", avg)
+		fmt.Fprintf(os.Stderr, "  ΔHPWL            : %+.3f%%\n", netlist.HPWLDelta(before, after)*100)
+		fmt.Fprintf(os.Stderr, "  direct placements: %d, MLL calls: %d (%d failed), retry rounds: %d\n",
+			st.DirectPlacements, st.MLLCalls, st.MLLFailures, st.RetryRounds)
+	}
+	if *svg != "" {
+		f, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render.SVG(f, d, render.Options{ShowDisplacement: true}); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if *out != "" {
+		if strings.HasSuffix(*out, ".aux") {
+			dir, base := filepath.Split(*out)
+			if dir == "" {
+				dir = "."
+			}
+			if err := bookshelf.Write(bookshelf.DirFS(dir), strings.TrimSuffix(base, ".aux"), d, nl); err != nil {
+				fatal(err)
+			}
+		} else {
+			w := os.Stdout
+			if *out != "-" {
+				f, err := os.Create(*out)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := iodesign.Write(w, d, nl); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mrlegal: %v\n", err)
+	os.Exit(1)
+}

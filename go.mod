@@ -1,0 +1,3 @@
+module mrlegal
+
+go 1.22

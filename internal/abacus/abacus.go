@@ -1,0 +1,365 @@
+// Package abacus implements the classic Abacus legalizer [Spindler,
+// Schlichtmann, Johannes, ISPD 2008], the single-row-height baseline the
+// paper's related-work section discusses: cells are assigned to rows
+// greedily by displacement and each row is re-placed optimally by dynamic
+// cluster collapsing.
+//
+// Abacus cannot move multi-row cells ("shifting of cells in a row may
+// produce overlapping in another row", §1), so — as in the mixed-size
+// practice the paper cites — multi-row cells are legalized first by a
+// greedy pass and then frozen as obstacles while Abacus handles the
+// single-row cells. This package exists as the related-work baseline
+// (experiment E6) and provides the optimal single-row placer reused by
+// the global placer's rough-legalization postpass.
+package abacus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/segment"
+	"mrlegal/internal/tetris"
+)
+
+// RowCell is one cell of a single-row placement problem.
+type RowCell struct {
+	Desired float64 // desired x (site units, may be fractional)
+	Width   float64
+	Weight  float64 // displacement weight (e.g. cell area)
+}
+
+// PlaceRow computes the overlap-free positions within [lo, hi] that
+// minimize the quadratic movement Σ weight·(x − desired)² for cells in
+// the given (fixed) order — the original Abacus cluster algorithm, whose
+// pooled optimum is the weighted mean. For the paper's linear
+// displacement objective use PlaceRowL1. It returns the positions (same
+// order) or ok=false when the cells do not fit.
+func PlaceRow(cells []RowCell, lo, hi float64) (xs []float64, ok bool) {
+	var total float64
+	for i := range cells {
+		total += cells[i].Width
+	}
+	if total > hi-lo+1e-9 {
+		return nil, false
+	}
+	type cluster struct {
+		x     float64 // optimal position of the cluster's first cell
+		e     float64 // total weight
+		q     float64 // weighted numerator
+		w     float64 // total width
+		first int
+	}
+	var st []cluster
+	clamp := func(c *cluster) {
+		c.x = c.q / c.e
+		if c.x < lo {
+			c.x = lo
+		}
+		if c.x > hi-c.w {
+			c.x = hi - c.w
+		}
+	}
+	for i := range cells {
+		c := cluster{e: cells[i].Weight, q: cells[i].Weight * cells[i].Desired, w: cells[i].Width, first: i}
+		if c.e == 0 {
+			c.e = 1e-9
+			c.q = c.e * cells[i].Desired
+		}
+		clamp(&c)
+		for len(st) > 0 {
+			top := &st[len(st)-1]
+			if top.x+top.w <= c.x+1e-12 {
+				break
+			}
+			// Merge c into top.
+			top.q += c.q - c.e*top.w
+			top.e += c.e
+			top.w += c.w
+			clamp(top)
+			c = st[len(st)-1]
+			st = st[:len(st)-1]
+		}
+		st = append(st, c)
+	}
+	xs = make([]float64, len(cells))
+	for _, c := range st {
+		x := c.x
+		for i := c.first; i < len(cells) && x < c.x+c.w-1e-12; i++ {
+			xs[i] = x
+			x += cells[i].Width
+		}
+	}
+	return xs, true
+}
+
+// PlaceRowL1 is the L1 counterpart of PlaceRow: it minimizes
+// Σ weight·|x − desired| (the paper's displacement objective) instead of
+// Abacus's quadratic movement. The fixed-order single-row problem reduces
+// to isotonic regression on u_i = x_i − Σ_{j<i} w_j, which
+// pool-adjacent-violators solves with weighted medians; the shared box
+// [lo, hi−Σw] is applied by clamping the unconstrained fit (valid for
+// separable convex objectives under a common box).
+func PlaceRowL1(cells []RowCell, lo, hi float64) (xs []float64, ok bool) {
+	var total float64
+	for i := range cells {
+		total += cells[i].Width
+	}
+	if total > hi-lo+1e-9 {
+		return nil, false
+	}
+	type member struct{ d, w float64 }
+	type block struct {
+		u       float64
+		members []member
+		weight  float64
+	}
+	median := func(b *block) float64 {
+		sort.Slice(b.members, func(i, j int) bool { return b.members[i].d < b.members[j].d })
+		half := b.weight / 2
+		var cum float64
+		for _, m := range b.members {
+			cum += m.w
+			if cum >= half-1e-12 {
+				return m.d
+			}
+		}
+		return b.members[len(b.members)-1].d
+	}
+	var st []block
+	prefix := 0.0
+	counts := make([]int, 0, len(cells)) // members per block, in order
+	for i := range cells {
+		w := cells[i].Weight
+		if w <= 0 {
+			w = 1e-9
+		}
+		b := block{members: []member{{cells[i].Desired - prefix, w}}, weight: w}
+		b.u = b.members[0].d
+		counts = append(counts, 1)
+		for len(st) > 0 && st[len(st)-1].u > b.u+1e-12 {
+			top := st[len(st)-1]
+			st = st[:len(st)-1]
+			b.members = append(b.members, top.members...)
+			b.weight += top.weight
+			b.u = median(&b)
+			counts[len(counts)-2] += counts[len(counts)-1]
+			counts = counts[:len(counts)-1]
+		}
+		st = append(st, b)
+		prefix += cells[i].Width
+	}
+	uLo, uHi := lo, hi-total
+	xs = make([]float64, len(cells))
+	idx := 0
+	pw := 0.0
+	for bi, b := range st {
+		u := b.u
+		if u < uLo {
+			u = uLo
+		}
+		if u > uHi {
+			u = uHi
+		}
+		for k := 0; k < counts[bi]; k++ {
+			xs[idx] = u + pw
+			pw += cells[idx].Width
+			idx++
+		}
+	}
+	// Clamping can only move blocks toward each other monotonically, so
+	// order is preserved; assert in debug builds via the caller's checks.
+	return xs, true
+}
+
+// Config tunes the Abacus legalizer.
+type Config struct {
+	// MaxRowSearch bounds how many rows above/below the desired row are
+	// tried for each cell (default 16).
+	MaxRowSearch int
+	// PowerAlign enforces rail parity for even-height cells in the
+	// multi-row pre-pass.
+	PowerAlign bool
+}
+
+// Stats reports a legalization run.
+type Stats struct {
+	MultiRowPrePlaced int
+	SingleRowPlaced   int
+}
+
+// Legalize legalizes the design: multi-row cells first via the greedy
+// Tetris pass (then frozen), then all single-row cells by Abacus row
+// assignment with optimal row placement. On success every movable cell is
+// placed and site-aligned.
+func Legalize(d *design.Design, cfg Config) (Stats, error) {
+	if cfg.MaxRowSearch == 0 {
+		cfg.MaxRowSearch = 16
+	}
+	var st Stats
+
+	// Phase 1: multi-row cells via greedy packing, then freeze.
+	var multi, single []design.CellID
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		if c.H > 1 {
+			multi = append(multi, c.ID)
+		} else {
+			single = append(single, c.ID)
+		}
+	}
+	if len(multi) > 0 {
+		if err := tetris.LegalizeCells(d, multi, tetris.Config{PowerAlign: cfg.PowerAlign}); err != nil {
+			return st, fmt.Errorf("abacus: multi-row pre-pass: %w", err)
+		}
+		st.MultiRowPrePlaced = len(multi)
+	}
+	for _, id := range multi {
+		d.Cells[id].Fixed = true // temporarily treat as obstacle
+	}
+	defer func() {
+		for _, id := range multi {
+			d.Cells[id].Fixed = false
+		}
+	}()
+
+	// Build segments with multi-row cells as obstacles.
+	g := segment.Build(d)
+
+	// Per-segment tentative contents, ordered by desired x.
+	type segKey struct{ row, idx int }
+	assign := make(map[segKey][]design.CellID)
+
+	// rowCost places the cell tentatively in the segment nearest its
+	// desired x on the given row and returns the incremental displacement
+	// estimate, or +inf.
+	trySeg := func(id design.CellID, row int) (*segment.Segment, float64) {
+		c := d.Cell(id)
+		var best *segment.Segment
+		bestCost := math.Inf(1)
+		for _, s := range g.RowSegments(row) {
+			if s.Span.Len() < c.W {
+				continue
+			}
+			x := geom.Clamp(int(math.Round(c.GX)), s.Span.Lo, s.Span.Hi-c.W)
+			cost := math.Abs(float64(x)-c.GX) + math.Abs(float64(row)-c.GY)*float64(d.SiteH)/float64(d.SiteW)
+			if cost < bestCost {
+				bestCost = cost
+				best = s
+			}
+		}
+		return best, bestCost
+	}
+
+	// Sort single-row cells by x (classic Abacus order).
+	sort.Slice(single, func(i, j int) bool {
+		a, b := d.Cell(single[i]), d.Cell(single[j])
+		if a.GX != b.GX {
+			return a.GX < b.GX
+		}
+		return a.ID < b.ID
+	})
+
+	capLeft := make(map[segKey]int)
+	for _, id := range single {
+		c := d.Cell(id)
+		want := geom.Clamp(int(math.Round(c.GY)), 0, d.NumRows()-1)
+		bestCost := math.Inf(1)
+		var bestSeg *segment.Segment
+		for off := 0; off <= cfg.MaxRowSearch; off++ {
+			for _, row := range []int{want - off, want + off} {
+				if row < 0 || row >= d.NumRows() || (off == 0 && row != want) {
+					continue
+				}
+				s, cost := trySeg(id, row)
+				if s == nil {
+					continue
+				}
+				k := segKey{row, s.Index}
+				left, seen := capLeft[k]
+				if !seen {
+					left = s.Span.Len()
+				}
+				if left < c.W {
+					continue
+				}
+				if cost < bestCost {
+					bestCost = cost
+					bestSeg = s
+				}
+			}
+			if bestSeg != nil && float64(off)*float64(d.SiteH)/float64(d.SiteW) > bestCost {
+				break // no farther row can win
+			}
+		}
+		if bestSeg == nil {
+			return st, fmt.Errorf("abacus: no segment can host cell %d (%s)", id, c.Name)
+		}
+		k := segKey{bestSeg.Row, bestSeg.Index}
+		if _, seen := capLeft[k]; !seen {
+			capLeft[k] = bestSeg.Span.Len()
+		}
+		capLeft[k] -= c.W
+		assign[k] = append(assign[k], id)
+		st.SingleRowPlaced++
+	}
+
+	// Final per-segment optimal placement.
+	for ri := range d.Rows {
+		for _, s := range g.RowSegments(d.Rows[ri].Y) {
+			k := segKey{s.Row, s.Index}
+			ids := assign[k]
+			if len(ids) == 0 {
+				continue
+			}
+			sort.Slice(ids, func(i, j int) bool {
+				a, b := d.Cell(ids[i]), d.Cell(ids[j])
+				if a.GX != b.GX {
+					return a.GX < b.GX
+				}
+				return a.ID < b.ID
+			})
+			rcs := make([]RowCell, len(ids))
+			for i, id := range ids {
+				c := d.Cell(id)
+				rcs[i] = RowCell{Desired: c.GX, Width: float64(c.W), Weight: float64(c.W)}
+			}
+			xs, ok := PlaceRowL1(rcs, float64(s.Span.Lo), float64(s.Span.Hi))
+			if !ok {
+				return st, fmt.Errorf("abacus: segment row %d overfull", s.Row)
+			}
+			// Site-align left to right, preserving order.
+			cursor := s.Span.Lo
+			for i, id := range ids {
+				c := d.Cell(id)
+				x := int(math.Round(xs[i]))
+				if x < cursor {
+					x = cursor
+				}
+				if x+c.W > s.Span.Hi {
+					x = s.Span.Hi - c.W
+					// Push earlier cells left if rounding collided.
+					for j := i; j > 0; j-- {
+						pc := d.Cell(ids[j-1])
+						nc := d.Cell(ids[j])
+						limit := nc.X - pc.W
+						if j == i {
+							limit = x - pc.W
+						}
+						if pc.X > limit {
+							d.Place(ids[j-1], limit, s.Row)
+						}
+					}
+				}
+				d.Place(id, x, s.Row)
+				cursor = x + c.W
+			}
+		}
+	}
+	return st, nil
+}

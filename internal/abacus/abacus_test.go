@@ -1,0 +1,283 @@
+package abacus
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/verify"
+)
+
+func TestPlaceRowNoOverlapNeeded(t *testing.T) {
+	cells := []RowCell{
+		{Desired: 2, Width: 3, Weight: 1},
+		{Desired: 10, Width: 3, Weight: 1},
+	}
+	xs, ok := PlaceRow(cells, 0, 20)
+	if !ok || xs[0] != 2 || xs[1] != 10 {
+		t.Fatalf("xs=%v ok=%v", xs, ok)
+	}
+}
+
+func TestPlaceRowClusterMerge(t *testing.T) {
+	// Two cells wanting the same spot split the difference (equal weight).
+	cells := []RowCell{
+		{Desired: 10, Width: 4, Weight: 1},
+		{Desired: 10, Width: 4, Weight: 1},
+	}
+	xs, ok := PlaceRow(cells, 0, 30)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	// Optimal cluster: minimize |x-10| + |x+4-10| → x ∈ [6,10], cluster
+	// position x=8 balances (weighted mean of (10, 10-4)).
+	if xs[1]-xs[0] != 4 {
+		t.Fatalf("overlap remains: %v", xs)
+	}
+	if xs[0] < 6-1e-9 || xs[0] > 10+1e-9 {
+		t.Fatalf("cluster at %v outside optimal band", xs[0])
+	}
+}
+
+func TestPlaceRowBoundaryClamp(t *testing.T) {
+	cells := []RowCell{
+		{Desired: -5, Width: 4, Weight: 1},
+		{Desired: -5, Width: 4, Weight: 1},
+	}
+	xs, ok := PlaceRow(cells, 0, 10)
+	if !ok || xs[0] != 0 || xs[1] != 4 {
+		t.Fatalf("xs=%v", xs)
+	}
+	cells[0].Desired, cells[1].Desired = 100, 100
+	xs, ok = PlaceRow(cells, 0, 10)
+	if !ok || xs[1] != 6 || xs[0] != 2 {
+		t.Fatalf("xs=%v", xs)
+	}
+}
+
+func TestPlaceRowOverfull(t *testing.T) {
+	cells := []RowCell{{Desired: 0, Width: 6, Weight: 1}, {Desired: 0, Width: 6, Weight: 1}}
+	if _, ok := PlaceRow(cells, 0, 10); ok {
+		t.Fatal("overfull row should fail")
+	}
+}
+
+// TestPlaceRowL2AgainstBruteForce validates the faithful-Abacus quadratic
+// objective on a coarse grid.
+func TestPlaceRowL2AgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(3)
+		cells := make([]RowCell, n)
+		totalW := 0.0
+		for i := range cells {
+			cells[i] = RowCell{
+				Desired: float64(rng.Intn(16)),
+				Width:   float64(1 + rng.Intn(4)),
+				Weight:  float64(1 + rng.Intn(3)),
+			}
+			totalW += cells[i].Width
+		}
+		lo, hi := 0.0, totalW+float64(rng.Intn(6))
+		xs, ok := PlaceRow(cells, lo, hi)
+		if !ok {
+			t.Fatalf("trial %d: unexpectedly overfull", trial)
+		}
+		cost := func(pos []float64) float64 {
+			var s float64
+			for i := range cells {
+				d := pos[i] - cells[i].Desired
+				s += cells[i].Weight * d * d
+			}
+			return s
+		}
+		got := cost(xs)
+		best := math.Inf(1)
+		var rec func(i int, cur float64, pos []float64)
+		rec = func(i int, cur float64, pos []float64) {
+			if i == n {
+				if c := cost(pos); c < best {
+					best = c
+				}
+				return
+			}
+			for x := cur; x+cells[i].Width <= hi+1e-9; x += 0.25 {
+				pos[i] = x
+				rec(i+1, x+cells[i].Width, pos)
+			}
+		}
+		if hi-lo <= 12 {
+			rec(0, lo, make([]float64, n))
+			if got > best+1e-4 {
+				t.Fatalf("trial %d: PlaceRow L2 cost %v, brute force %v (cells=%v xs=%v)", trial, got, best, cells, xs)
+			}
+		}
+	}
+}
+
+func TestPlaceRowL1AgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(4)
+		cells := make([]RowCell, n)
+		totalW := 0.0
+		for i := range cells {
+			cells[i] = RowCell{
+				Desired: float64(rng.Intn(20)),
+				Width:   float64(1 + rng.Intn(4)),
+				Weight:  float64(1 + rng.Intn(3)),
+			}
+			totalW += cells[i].Width
+		}
+		lo, hi := 0.0, totalW+float64(rng.Intn(10))
+		xs, ok := PlaceRowL1(cells, lo, hi)
+		if !ok {
+			t.Fatalf("trial %d: unexpectedly overfull", trial)
+		}
+		cost := func(pos []float64) float64 {
+			var s float64
+			for i := range cells {
+				s += cells[i].Weight * math.Abs(pos[i]-cells[i].Desired)
+			}
+			return s
+		}
+		// Feasibility.
+		cur := lo
+		for i := range cells {
+			if xs[i] < cur-1e-9 || xs[i]+cells[i].Width > hi+1e-9 {
+				t.Fatalf("trial %d: infeasible solution %v", trial, xs)
+			}
+			cur = xs[i] + cells[i].Width
+		}
+		got := cost(xs)
+		// Brute force on a 0.5 grid.
+		best := math.Inf(1)
+		var rec func(i int, cur float64, pos []float64)
+		rec = func(i int, cur float64, pos []float64) {
+			if i == n {
+				if c := cost(pos); c < best {
+					best = c
+				}
+				return
+			}
+			for x := cur; x+cells[i].Width <= hi+1e-9; x += 0.5 {
+				pos[i] = x
+				rec(i+1, x+cells[i].Width, pos)
+			}
+		}
+		if hi-lo <= 14 { // keep brute force tractable
+			rec(0, lo, make([]float64, n))
+			if got > best+1e-6 {
+				t.Fatalf("trial %d: PlaceRowL1 cost %v, brute force %v (cells=%v xs=%v)", trial, got, best, cells, xs)
+			}
+		}
+	}
+}
+
+func TestLegalizeMixedDesign(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := dtest.Flat(10, 80)
+	for i := 0; i < 60; i++ {
+		w := 1 + rng.Intn(5)
+		h := 1
+		if rng.Float64() < 0.1 {
+			h = 2
+		}
+		dtest.Unplaced(d, w, h, rng.Float64()*float64(80-w), rng.Float64()*float64(10-h))
+	}
+	st, err := Legalize(d, Config{PowerAlign: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true, PowerAlignment: true})
+	if st.SingleRowPlaced == 0 {
+		t.Fatal("no single-row cells placed")
+	}
+	stats := d.CellStats()
+	if stats.MultiRow > 0 && st.MultiRowPrePlaced == 0 {
+		t.Fatal("multi-row cells skipped")
+	}
+}
+
+func TestLegalizeDeterministic(t *testing.T) {
+	mk := func() []int {
+		rng := rand.New(rand.NewSource(3))
+		d := dtest.Flat(8, 60)
+		for i := 0; i < 40; i++ {
+			w := 1 + rng.Intn(4)
+			dtest.Unplaced(d, w, 1, rng.Float64()*float64(60-w), rng.Float64()*7)
+		}
+		if _, err := Legalize(d, Config{}); err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := range d.Cells {
+			out = append(out, d.Cells[i].X, d.Cells[i].Y)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("abacus not deterministic")
+		}
+	}
+}
+
+// Property (testing/quick): PlaceRowL1 always returns a feasible,
+// order-preserving solution whose cost is no worse than PlaceRow's (the
+// L1 optimum can't lose to the L2 one under the L1 metric).
+func TestPlaceRowL1DominatesL2Quick(t *testing.T) {
+	type cellSpec struct{ D, W, E uint8 }
+	f := func(specs []cellSpec, slack uint8) bool {
+		if len(specs) == 0 {
+			return true
+		}
+		if len(specs) > 8 {
+			specs = specs[:8]
+		}
+		cells := make([]RowCell, len(specs))
+		total := 0.0
+		for i, s := range specs {
+			cells[i] = RowCell{
+				Desired: float64(s.D % 40),
+				Width:   float64(s.W%5 + 1),
+				Weight:  float64(s.E%4 + 1),
+			}
+			total += cells[i].Width
+		}
+		lo, hi := 0.0, total+float64(slack%20)
+		l1, ok1 := PlaceRowL1(cells, lo, hi)
+		l2, ok2 := PlaceRow(cells, lo, hi)
+		if !ok1 || !ok2 {
+			return false
+		}
+		cost := func(pos []float64) float64 {
+			var s float64
+			for i := range cells {
+				d := pos[i] - cells[i].Desired
+				if d < 0 {
+					d = -d
+				}
+				s += cells[i].Weight * d
+			}
+			return s
+		}
+		// Feasibility of both.
+		for _, xs := range [][]float64{l1, l2} {
+			cur := lo
+			for i := range cells {
+				if xs[i] < cur-1e-9 || xs[i]+cells[i].Width > hi+1e-9 {
+					return false
+				}
+				cur = xs[i] + cells[i].Width
+			}
+		}
+		return cost(l1) <= cost(l2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

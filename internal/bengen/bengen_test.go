@@ -1,0 +1,161 @@
+package bengen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	b := Generate(Spec{Name: "t1", NumCells: 1000, Density: 0.5, Seed: 7})
+	d := b.D
+	if len(d.Cells) != 1000 {
+		t.Fatalf("cells = %d", len(d.Cells))
+	}
+	st := d.CellStats()
+	if st.MultiRow < 80 || st.MultiRow > 120 {
+		t.Fatalf("double-height cells = %d, want ≈100", st.MultiRow)
+	}
+	if st.MaxHeight != 2 {
+		t.Fatalf("max height = %d", st.MaxHeight)
+	}
+	den := d.Density()
+	if math.Abs(den-0.5) > 0.05 {
+		t.Fatalf("density = %v, want ≈0.5", den)
+	}
+	if d.NumRows()%2 != 0 {
+		t.Fatal("row count should be even")
+	}
+	// Physically near-square die.
+	w := float64(d.Bounds().W) * float64(SiteW)
+	h := float64(d.Bounds().H) * float64(SiteH)
+	if w/h > 1.6 || h/w > 1.6 {
+		t.Fatalf("aspect ratio too skewed: %v x %v", w, h)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Name: "t", NumCells: 500, Density: 0.4, Seed: 3})
+	b := Generate(Spec{Name: "t", NumCells: 500, Density: 0.4, Seed: 3})
+	if len(a.D.Cells) != len(b.D.Cells) || len(a.NL.Nets) != len(b.NL.Nets) {
+		t.Fatal("generation not deterministic in sizes")
+	}
+	for i := range a.D.Cells {
+		if a.D.Cells[i].W != b.D.Cells[i].W || a.D.Cells[i].H != b.D.Cells[i].H {
+			t.Fatal("cell sizes differ across identical seeds")
+		}
+	}
+	for i := range a.NL.Nets {
+		if len(a.NL.Nets[i].Pins) != len(b.NL.Nets[i].Pins) {
+			t.Fatal("netlists differ across identical seeds")
+		}
+	}
+	c := Generate(Spec{Name: "t", NumCells: 500, Density: 0.4, Seed: 4})
+	diff := false
+	for i := range a.D.Cells {
+		if a.D.Cells[i].W != c.D.Cells[i].W {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different designs")
+	}
+}
+
+func TestGenerateNetlistShape(t *testing.T) {
+	b := Generate(Spec{Name: "t", NumCells: 2000, Density: 0.5, Seed: 9})
+	if err := b.NL.Validate(b.D); err != nil {
+		t.Fatal(err)
+	}
+	nNets := len(b.NL.Nets)
+	if nNets < 1800 || nNets > 2600 {
+		t.Fatalf("nets = %d, want ≈ 2300", nNets)
+	}
+	totPins := 0
+	for i := range b.NL.Nets {
+		p := len(b.NL.Nets[i].Pins)
+		if p < 2 {
+			t.Fatalf("net %d has %d pins", i, p)
+		}
+		totPins += p
+	}
+	avg := float64(totPins) / float64(nNets)
+	if avg < 2.2 || avg > 4.5 {
+		t.Fatalf("average degree = %v", avg)
+	}
+}
+
+func TestGenerateWithBlockages(t *testing.T) {
+	b := Generate(Spec{Name: "t", NumCells: 800, Density: 0.45, Seed: 5, BlockageFrac: 0.15})
+	if len(b.D.Blockages) == 0 {
+		t.Fatal("no blockages generated")
+	}
+	den := b.D.Density()
+	if math.Abs(den-0.45) > 0.08 {
+		t.Fatalf("density with blockages = %v, want ≈0.45", den)
+	}
+}
+
+func TestTable1Specs(t *testing.T) {
+	specs := Table1Specs(100)
+	if len(specs) != 20 {
+		t.Fatalf("specs = %d, want 20", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate benchmark name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.NumCells < 200 {
+			t.Fatalf("%s: too few cells (%d)", s.Name, s.NumCells)
+		}
+		if s.Density <= 0 || s.Density > 1 {
+			t.Fatalf("%s: density %v", s.Name, s.Density)
+		}
+		if s.DoubleFrac <= 0 || s.DoubleFrac > 0.2 {
+			t.Fatalf("%s: double fraction %v", s.Name, s.DoubleFrac)
+		}
+	}
+	if !names["superblue12"] || !names["des_perf_1"] {
+		t.Fatal("expected ISPD'15 names missing")
+	}
+	// Scaled sizes follow the paper's relative sizes.
+	if specs[16].NumCells < specs[4].NumCells {
+		t.Fatal("superblue12 should be larger than fft_1")
+	}
+}
+
+func TestGenerateDensityAcrossTable1(t *testing.T) {
+	for _, s := range Table1Specs(400) {
+		b := Generate(s)
+		den := b.D.Density()
+		if math.Abs(den-s.Density) > 0.08 {
+			t.Errorf("%s: generated density %v, want ≈%v", s.Name, den, s.Density)
+		}
+	}
+}
+
+func TestGenerateTallCells(t *testing.T) {
+	b := Generate(Spec{Name: "tall", NumCells: 1000, Density: 0.5, Seed: 31,
+		TripleFrac: 0.05, QuadFrac: 0.02})
+	st := b.D.CellStats()
+	if st.MaxHeight != 4 {
+		t.Fatalf("max height = %d, want 4", st.MaxHeight)
+	}
+	n3, n4 := 0, 0
+	for i := range b.D.Cells {
+		switch b.D.Cells[i].H {
+		case 3:
+			n3++
+		case 4:
+			n4++
+		}
+	}
+	if n3 < 40 || n3 > 60 || n4 < 15 || n4 > 25 {
+		t.Fatalf("tall counts: %d triple, %d quad", n3, n4)
+	}
+	if len(b.D.Cells) != 1000 {
+		t.Fatalf("cells = %d", len(b.D.Cells))
+	}
+}

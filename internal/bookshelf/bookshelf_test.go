@@ -1,0 +1,223 @@
+package bookshelf
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/netlist"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	d := dtest.Flat(4, 50)
+	a := dtest.Placed(d, 4, 1, 10, 0)
+	b := dtest.Unplaced(d, 3, 2, 20.5, 1.25)
+	fx := dtest.Placed(d, 6, 1, 30, 3)
+	d.Cell(fx).Fixed = true
+	nl := netlist.New()
+	nl.AddNet("n0",
+		netlist.Pin{Cell: a, DX: 2, DY: 0.5},
+		netlist.Pin{Cell: b, DX: 1, DY: 1},
+		netlist.Pin{Cell: design.NoCell, DX: 44, DY: 3},
+	)
+	nl.BuildIndex(len(d.Cells))
+
+	fs := NewMemFS()
+	if err := Write(fs, "t", d, nl); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t.aux", "t.nets", "t.nodes", "t.pl", "t.scl"}
+	got := fs.Names()
+	if len(got) != len(want) {
+		t.Fatalf("files = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("files = %v", got)
+		}
+	}
+
+	d2, nl2, err := Read(fs, "t.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.SiteW != d.SiteW || d2.SiteH != d.SiteH {
+		t.Fatalf("site geometry lost: %d %d", d2.SiteW, d2.SiteH)
+	}
+	if len(d2.Rows) != 4 || d2.Rows[0].Span != d.Rows[0].Span {
+		t.Fatalf("rows lost: %+v", d2.Rows)
+	}
+	if len(d2.Cells) != len(d.Cells) {
+		t.Fatalf("cells = %d", len(d2.Cells))
+	}
+	for i := range d.Cells {
+		c1, c2 := &d.Cells[i], &d2.Cells[i]
+		if c1.W != c2.W || c1.H != c2.H || c1.Fixed != c2.Fixed {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+	// Input positions come back through .pl: placed cells round-trip via
+	// their coordinates, unplaced via GX/GY.
+	if got := d2.Cells[a].GX; got != 10 {
+		t.Fatalf("a.GX = %v", got)
+	}
+	if got := d2.Cells[b].GX; math.Abs(got-20.5) > 1e-9 {
+		t.Fatalf("b.GX = %v", got)
+	}
+	if !d2.Cells[fx].Placed || d2.Cells[fx].X != 30 {
+		t.Fatal("fixed cell not placed on read")
+	}
+	// Net pins: offsets survive the center-relative conversion; HPWL of
+	// the two designs agrees when positions agree.
+	if len(nl2.Nets) != 1 || len(nl2.Nets[0].Pins) != 3 {
+		t.Fatalf("nets = %+v", nl2.Nets)
+	}
+	if nl2.Nets[0].Pins[2].Cell != design.NoCell {
+		t.Fatal("pad pin lost")
+	}
+	h1, h2 := nl.HPWL(d), nl2.HPWL(d2)
+	if math.Abs(h1-h2) > 1e-6 {
+		t.Fatalf("HPWL %v vs %v", h1, h2)
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	b := bengen.Generate(bengen.Spec{Name: "bs", NumCells: 400, Density: 0.5, Seed: 77})
+	fs := NewMemFS()
+	if err := Write(fs, "bs", b.D, b.NL); err != nil {
+		t.Fatal(err)
+	}
+	d2, nl2, err := Read(fs, "bs.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Cells) != len(b.D.Cells) || len(nl2.Nets) != len(b.NL.Nets) {
+		t.Fatal("sizes mismatch")
+	}
+	// Cell sizes survive exactly.
+	for i := range b.D.Cells {
+		if b.D.Cells[i].W != d2.Cells[i].W || b.D.Cells[i].H != d2.Cells[i].H {
+			t.Fatalf("cell %d size mismatch", i)
+		}
+	}
+	// Write the reread design again: nodes/pl/scl/aux are byte-identical;
+	// .nets is compared semantically (pin offsets are center-relative, so
+	// the corner↔center conversion can differ in the last float ulp).
+	fs2 := NewMemFS()
+	if err := Write(fs2, "bs", d2, nl2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"bs.aux", "bs.nodes", "bs.pl", "bs.scl"} {
+		if fs.Files[name].String() != fs2.Files[name].String() {
+			t.Fatalf("%s is not a write→read→write fixpoint", name)
+		}
+	}
+	d3, nl3, err := Read(fs2, "bs.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl3.Nets) != len(nl2.Nets) {
+		t.Fatal(".nets net count drifted")
+	}
+	for i := range nl2.Nets {
+		if len(nl3.Nets[i].Pins) != len(nl2.Nets[i].Pins) {
+			t.Fatalf("net %d pin count drifted", i)
+		}
+	}
+	if h2, h3 := nl2.HPWL(d2), nl3.HPWL(d3); math.Abs(h2-h3) > 1e-6 {
+		t.Fatalf(".nets HPWL drifted: %v vs %v", h2, h3)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Missing aux entries.
+	fs := NewMemFS()
+	w, _ := fs.Create("x.aux")
+	w.Write([]byte("RowBasedPlacement : x.nodes x.pl x.scl\n")) // no .nets
+	w.Close()
+	if _, _, err := Read(fs, "x.aux"); err == nil {
+		t.Fatal("expected error for incomplete aux")
+	}
+
+	// Node off the site grid.
+	fs = NewMemFS()
+	files := map[string]string{
+		"y.aux":   "RowBasedPlacement : y.nodes y.nets y.pl y.scl\n",
+		"y.scl":   "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 2000\n Sitewidth : 200\n SubrowOrigin : 0 NumSites : 10\nEnd\n",
+		"y.nodes": "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\n a 333 2000\n",
+		"y.pl":    "UCLA pl 1.0\na 0 0 : N\n",
+		"y.nets":  "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n",
+	}
+	for n, c := range files {
+		w, _ := fs.Create(n)
+		w.Write([]byte(c))
+		w.Close()
+	}
+	if _, _, err := Read(fs, "y.aux"); err == nil || !strings.Contains(err.Error(), "site grid") {
+		t.Fatalf("expected site-grid error, got %v", err)
+	}
+
+	// Unknown node in .pl.
+	files["y.nodes"] = "UCLA nodes 1.0\n a 200 2000\n"
+	files["y.pl"] = "UCLA pl 1.0\nzz 0 0 : N\n"
+	for n, c := range files {
+		w, _ := fs.Create(n)
+		w.Write([]byte(c))
+		w.Close()
+	}
+	if _, _, err := Read(fs, "y.aux"); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("expected unknown-node error, got %v", err)
+	}
+}
+
+func TestSclParsesSubrows(t *testing.T) {
+	fs := NewMemFS()
+	files := map[string]string{
+		"z.aux":   "RowBasedPlacement : z.nodes z.nets z.pl z.scl\n",
+		"z.scl":   "UCLA scl 1.0\nNumRows : 2\nCoreRow Horizontal\n Coordinate : 2000\n Height : 2000\n Sitewidth : 200\n SubrowOrigin : 400 NumSites : 30\nEnd\nCoreRow Horizontal\n Coordinate : 0\n Height : 2000\n Sitewidth : 200\n SubrowOrigin : 0 NumSites : 50\nEnd\n",
+		"z.nodes": "UCLA nodes 1.0\n a 200 2000\n",
+		"z.pl":    "UCLA pl 1.0\na 600 2000 : N\n",
+		"z.nets":  "UCLA nets 1.0\nNumNets : 0\nNumPins : 0\n",
+	}
+	for n, c := range files {
+		w, _ := fs.Create(n)
+		w.Write([]byte(c))
+		w.Close()
+	}
+	d, _, err := Read(fs, "z.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	// Rows come out sorted by Y.
+	if d.Rows[0].Y != 0 || d.Rows[1].Y != 1 {
+		t.Fatalf("row order: %+v", d.Rows)
+	}
+	if d.Rows[1].Span.Lo != 2 || d.Rows[1].Span.Hi != 32 {
+		t.Fatalf("row 1 span: %+v", d.Rows[1].Span)
+	}
+	if d.Cells[0].GX != 3 || d.Cells[0].GY != 1 {
+		t.Fatalf("pl position: %+v", d.Cells[0])
+	}
+}
+
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir()
+	d := dtest.Flat(2, 20)
+	dtest.Placed(d, 3, 1, 5, 0)
+	if err := Write(DirFS(dir), "disk", d, netlist.New()); err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := Read(DirFS(dir), "disk.aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Cells) != 1 || d2.Cells[0].W != 3 {
+		t.Fatal("disk roundtrip failed")
+	}
+}

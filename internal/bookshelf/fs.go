@@ -1,0 +1,65 @@
+package bookshelf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// DirFS is an FS rooted at a directory on disk.
+type DirFS string
+
+// Create implements FS.
+func (d DirFS) Create(name string) (io.WriteCloser, error) {
+	return os.Create(filepath.Join(string(d), name))
+}
+
+// Open implements FS.
+func (d DirFS) Open(name string) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(string(d), name))
+}
+
+// MemFS is an in-memory FS for tests and pipelines.
+type MemFS struct {
+	Files map[string]*bytes.Buffer
+}
+
+// NewMemFS returns an empty in-memory FS.
+func NewMemFS() *MemFS { return &MemFS{Files: map[string]*bytes.Buffer{}} }
+
+type memFile struct{ *bytes.Buffer }
+
+func (memFile) Close() error { return nil }
+
+type memReader struct{ *bytes.Reader }
+
+func (memReader) Close() error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (io.WriteCloser, error) {
+	b := &bytes.Buffer{}
+	m.Files[name] = b
+	return memFile{b}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	b, ok := m.Files[name]
+	if !ok {
+		return nil, fmt.Errorf("bookshelf: memfs: no file %q", name)
+	}
+	return memReader{bytes.NewReader(b.Bytes())}, nil
+}
+
+// Names lists the stored file names, sorted.
+func (m *MemFS) Names() []string {
+	var out []string
+	for k := range m.Files {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrlegal/internal/design"
+)
+
+// Legalize runs Algorithm 1 (§3) over every movable unplaced cell of the
+// design: first each cell is tried at its input position (fast direct
+// placement when the snapped position is free, MLL otherwise); cells that
+// remain unplaced are retried in rounds with uniformly random target
+// offsets growing as ±Rx·(k−1), ±Ry·(k−1) for round k.
+//
+// It returns an error when cells remain unplaced after Cfg.MaxRounds
+// rounds (for example a cell wider than every segment).
+func (l *Legalizer) Legalize() error {
+	var unplaced []design.CellID
+	for i := range l.D.Cells {
+		c := &l.D.Cells[i]
+		if !c.Fixed && !c.Placed {
+			unplaced = append(unplaced, c.ID)
+		}
+	}
+	sort.Slice(unplaced, func(i, j int) bool {
+		if l.Cfg.TallFirst {
+			hi, hj := l.D.Cell(unplaced[i]).H, l.D.Cell(unplaced[j]).H
+			if hi != hj {
+				return hi > hj
+			}
+		}
+		return unplaced[i] < unplaced[j]
+	})
+
+	// First iteration: input positions.
+	unplaced = l.placeRound(unplaced, 1)
+
+	// Retry rounds with random offsets.
+	for k := 2; len(unplaced) > 0; k++ {
+		if k > l.Cfg.MaxRounds {
+			return fmt.Errorf("core: %d cells still unplaced after %d rounds (first: cell %d %q)",
+				len(unplaced), l.Cfg.MaxRounds, unplaced[0], l.D.Cell(unplaced[0]).Name)
+		}
+		l.stats.RetryRounds++
+		unplaced = l.placeRound(unplaced, k)
+	}
+	return nil
+}
+
+// placeRound attempts one Algorithm-1 pass over the given cells, round
+// k ≥ 1, and returns the cells that remain unplaced. With EscalateWindow
+// on, late rounds use progressively larger local-region windows so dense
+// instances whose solutions need compaction beyond one window still
+// terminate.
+func (l *Legalizer) placeRound(cells []design.CellID, k int) []design.CellID {
+	rx, ry := l.Cfg.Rx, l.Cfg.Ry
+	if l.Cfg.EscalateWindow && k > 4 {
+		scale := 1 + (k-4)/2
+		rx *= scale
+		ry *= scale
+	}
+	var failed []design.CellID
+	for _, id := range cells {
+		c := l.D.Cell(id)
+		tx, ty := c.GX, c.GY
+		if k > 1 {
+			tx += float64(l.rng.rangeInt(l.Cfg.Rx * (k - 1)))
+			ty += float64(l.rng.rangeInt(l.Cfg.Ry * (k - 1)))
+		}
+		ok := false
+		if x, y, snapOK := l.snap(c, tx, ty); snapOK && l.G.FreeAt(x, y, c.W, c.H) {
+			l.D.Place(id, x, y)
+			if err := l.G.Insert(id); err == nil {
+				l.stats.DirectPlacements++
+				l.lastMoved = l.lastMoved[:0]
+				ok = true
+			} else {
+				l.D.Unplace(id)
+			}
+		}
+		if !ok {
+			ok = l.mllWindow(id, tx, ty, rx, ry)
+		}
+		if !ok {
+			failed = append(failed, id)
+		}
+	}
+	return failed
+}
+
+// PlaceCell places the unplaced cell id as close as possible to the
+// desired position (tx, ty): directly when the nearest site-aligned,
+// rail-compatible position is free, through MLL otherwise. It reports
+// success.
+func (l *Legalizer) PlaceCell(id design.CellID, tx, ty float64) bool {
+	c := l.D.Cell(id)
+	if c.Placed {
+		panic("core: PlaceCell target must be unplaced")
+	}
+	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
+		l.D.Place(id, x, y)
+		if err := l.G.Insert(id); err == nil {
+			l.stats.DirectPlacements++
+			l.lastMoved = l.lastMoved[:0]
+			return true
+		}
+		l.D.Unplace(id)
+	}
+	return l.MLL(id, tx, ty)
+}
+
+// snap returns the nearest site-aligned, row-contained and (when power
+// alignment is on) rail-compatible position to (tx, ty) for cell c. ok is
+// false when the design has no compatible row for the cell.
+func (l *Legalizer) snap(c *design.Cell, tx, ty float64) (x, y int, ok bool) {
+	d := l.D
+	maxY := d.NumRows() - c.H
+	if maxY < 0 {
+		return 0, 0, false
+	}
+	y = clampInt(int(math.Round(ty)), 0, maxY)
+	if l.Cfg.PowerAlign {
+		m := d.MasterOf(c.ID)
+		if !d.RailCompatible(m, y) {
+			// Pick the nearer compatible neighbor row (even-height cells
+			// sit on alternating rows, so a compatible row is at ±1).
+			lo, hi := y-1, y+1
+			switch {
+			case lo >= 0 && hi <= maxY:
+				if ty-float64(lo) <= float64(hi)-ty {
+					y = lo
+				} else {
+					y = hi
+				}
+			case lo >= 0:
+				y = lo
+			case hi <= maxY:
+				y = hi
+			default:
+				return 0, 0, false
+			}
+			if !d.RailCompatible(m, y) {
+				return 0, 0, false
+			}
+		}
+	}
+	row := d.RowAt(y)
+	if row.Span.Len() < c.W {
+		return 0, 0, false
+	}
+	x = clampInt(int(math.Round(tx)), row.Span.Lo, row.Span.Hi-c.W)
+	return x, y, true
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MoveCell relocates a placed cell toward (tx, ty) using MLL, keeping the
+// placement legal at every instant (the "instant legalization" usage of
+// §1: detailed placement moves, gate sizing, buffer insertion). On
+// failure the cell keeps its original position and the design is
+// unchanged.
+func (l *Legalizer) MoveCell(id design.CellID, tx, ty float64) bool {
+	c := l.D.Cell(id)
+	if c.Fixed {
+		return false
+	}
+	if !c.Placed {
+		return l.PlaceCell(id, tx, ty)
+	}
+	oldX, oldY := c.X, c.Y
+	l.G.Remove(id)
+	l.D.Unplace(id)
+	if l.PlaceCell(id, tx, ty) {
+		return true
+	}
+	// Restore.
+	l.D.Place(id, oldX, oldY)
+	if err := l.G.Insert(id); err != nil {
+		panic(fmt.Sprintf("core: MoveCell restore failed: %v", err))
+	}
+	return false
+}
+
+// ResizeCell changes the width of a placed cell (gate sizing) and locally
+// re-legalizes it near its current position. On failure the original
+// width and position are restored. The cell keeps its master index; only
+// the instance width changes.
+func (l *Legalizer) ResizeCell(id design.CellID, newW int) bool {
+	if newW < 1 {
+		return false
+	}
+	c := l.D.Cell(id)
+	if c.Fixed {
+		return false
+	}
+	oldW := c.W
+	if !c.Placed {
+		c.W = newW
+		return true
+	}
+	oldX, oldY := c.X, c.Y
+	l.G.Remove(id)
+	l.D.Unplace(id)
+	c.W = newW
+	if l.PlaceCell(id, float64(oldX), float64(oldY)) {
+		return true
+	}
+	c.W = oldW
+	l.D.Place(id, oldX, oldY)
+	if err := l.G.Insert(id); err != nil {
+		panic(fmt.Sprintf("core: ResizeCell restore failed: %v", err))
+	}
+	return false
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/geom"
+)
+
+// naiveInsertionPoints enumerates insertion points by brute force: every
+// combination of one interval from each of ht consecutive rows whose
+// ranges share a common x and whose members agree on every multi-row
+// cell's side. It is the reference implementation for the scanline.
+func naiveInsertionPoints(r *Region, wt, ht int, allowRow func(int) bool) []*InsertionPoint {
+	rows := r.buildIntervals(wt)
+	hW := len(r.Segs)
+	var out []*InsertionPoint
+	combo := make([]*Interval, ht)
+	var rec func(t, s int)
+	rec = func(t, s int) {
+		if s == t+ht {
+			lo, hi := combo[0].Lo, combo[0].Hi
+			for _, iv := range combo[1:] {
+				lo = max(lo, iv.Lo)
+				hi = min(hi, iv.Hi)
+			}
+			if hi < lo {
+				return
+			}
+			ip := &InsertionPoint{BottomRel: t, Intervals: append([]*Interval(nil), combo...), Lo: lo, Hi: hi}
+			if !r.validMultiRow(ip) {
+				return
+			}
+			out = append(out, ip)
+			return
+		}
+		for i := range rows[s] {
+			combo[s-t] = &rows[s][i]
+			rec(t, s+1)
+		}
+	}
+	for t := 0; t+ht <= hW; t++ {
+		if allowRow != nil && !allowRow(r.AbsRow(t)) {
+			continue
+		}
+		rec(t, t)
+	}
+	return out
+}
+
+// ipKey canonically identifies an insertion point.
+func ipKey(ip *InsertionPoint) string {
+	s := fmt.Sprintf("t=%d", ip.BottomRel)
+	for _, iv := range ip.Intervals {
+		s += fmt.Sprintf(";%d:%d", iv.RelRow, iv.GapIdx)
+	}
+	return s
+}
+
+func sortedKeys(ips []*InsertionPoint) []string {
+	keys := make([]string, len(ips))
+	for i, ip := range ips {
+		keys[i] = ipKey(ip)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalKeySets(t *testing.T, got, want []*InsertionPoint) {
+	t.Helper()
+	gk, wk := sortedKeys(got), sortedKeys(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("scanline found %d insertion points, naive found %d\nscanline: %v\nnaive: %v",
+			len(gk), len(wk), gk, wk)
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("insertion point sets differ at %d: scanline %q vs naive %q", i, gk[i], wk[i])
+		}
+	}
+	// Also confirm no duplicates from the scanline.
+	for i := 1; i < len(gk); i++ {
+		if gk[i] == gk[i-1] {
+			t.Fatalf("scanline produced duplicate insertion point %q", gk[i])
+		}
+	}
+}
+
+func TestEnumerateSingleRowTarget(t *testing.T) {
+	d := dtest.Flat(1, 30)
+	dtest.Placed(d, 5, 1, 5, 0)
+	dtest.Placed(d, 5, 1, 20, 0)
+	g := buildGrid(t, d)
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 30, H: 1})
+	got := r.EnumerateInsertionPoints(4, 1, nil)
+	want := naiveInsertionPoints(r, 4, 1, nil)
+	equalKeySets(t, got, want)
+	// All three gaps fit a width-4 cell here.
+	if len(got) != 3 {
+		t.Fatalf("got %d insertion points, want 3", len(got))
+	}
+}
+
+func TestEnumerateDiscardsNegativeIntervals(t *testing.T) {
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 8, 1, 0, 0)
+	dtest.Placed(d, 8, 1, 8, 0)
+	// Remaining free space: [16,20) = 4 sites; middle gap has none.
+	g := buildGrid(t, d)
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 20, H: 1})
+	ips := r.EnumerateInsertionPoints(4, 1, nil)
+	if len(ips) != 3 {
+		// Gap L|a can host the target by pushing both cells right (4 free
+		// sites), so all three gaps are feasible.
+		t.Fatalf("got %d insertion points, want 3", len(ips))
+	}
+	ips = r.EnumerateInsertionPoints(5, 1, nil)
+	if len(ips) != 0 {
+		t.Fatalf("width 5 cannot fit, got %d insertion points", len(ips))
+	}
+}
+
+func TestEnumerateMultiRowSideConstraint(t *testing.T) {
+	// Figure 8: a double-height cell a, inserting a double-height target.
+	// Gaps on opposite sides of a must not combine.
+	d := dtest.Flat(2, 20)
+	a := dtest.Placed(d, 4, 2, 8, 0)
+	_ = a
+	g := buildGrid(t, d)
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 20, H: 2})
+	got := r.EnumerateInsertionPoints(4, 2, nil)
+	want := naiveInsertionPoints(r, 4, 2, nil)
+	equalKeySets(t, got, want)
+	// Valid combos: both-left-of-a and both-right-of-a only.
+	if len(got) != 2 {
+		t.Fatalf("got %d insertion points, want 2: %v", len(got), sortedKeys(got))
+	}
+	for _, ip := range got {
+		if ip.Intervals[0].GapIdx != ip.Intervals[1].GapIdx {
+			t.Fatalf("cross-side combination leaked: %s", ipKey(ip))
+		}
+	}
+}
+
+func TestEnumeratePowerRailFilter(t *testing.T) {
+	d := dtest.Flat(4, 20)
+	g := buildGrid(t, d)
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 20, H: 4})
+	evenRowsOnly := func(y int) bool { return y%2 == 0 }
+	got := r.EnumerateInsertionPoints(4, 2, evenRowsOnly)
+	for _, ip := range got {
+		if ip.BottomRow(r)%2 != 0 {
+			t.Fatalf("filter violated: bottom row %d", ip.BottomRow(r))
+		}
+	}
+	if len(got) != 2 { // rows 0 and 2, one (empty-row) gap each
+		t.Fatalf("got %d insertion points, want 2", len(got))
+	}
+}
+
+// TestEnumerateRandomAgainstNaive is the main correctness property: on
+// random small regions the scanline must produce exactly the naive set,
+// with no duplicates, for target heights 1..3.
+func TestEnumerateRandomAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nRows := 2 + rng.Intn(4)
+		width := 20 + rng.Intn(30)
+		d := dtest.Flat(nRows, width)
+		g := buildGrid(t, d)
+		// Random legal placement via rejection sampling.
+		for i := 0; i < 12; i++ {
+			w := 1 + rng.Intn(6)
+			h := 1 + rng.Intn(min(3, nRows))
+			x := rng.Intn(width - w + 1)
+			y := rng.Intn(nRows - h + 1)
+			if g.FreeAt(x, y, w, h) {
+				id := dtest.Placed(d, w, h, x, y)
+				if err := g.Insert(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: width, H: nRows})
+		for ht := 1; ht <= min(3, nRows); ht++ {
+			wt := 1 + rng.Intn(5)
+			got := r.EnumerateInsertionPoints(wt, ht, nil)
+			want := naiveInsertionPoints(r, wt, ht, nil)
+			func() {
+				defer func() {
+					if t.Failed() {
+						t.Logf("trial %d: rows=%d width=%d wt=%d ht=%d", trial, nRows, width, wt, ht)
+					}
+				}()
+				equalKeySets(t, got, want)
+			}()
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+// TestEnumerateCommonCutline verifies the invariant that every produced
+// insertion point has a nonempty feasible range contained in all member
+// intervals.
+func TestEnumerateCommonCutline(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := dtest.Flat(5, 60)
+	g := buildGrid(t, d)
+	for i := 0; i < 25; i++ {
+		w := 1 + rng.Intn(6)
+		h := 1 + rng.Intn(3)
+		x := rng.Intn(60 - w + 1)
+		y := rng.Intn(5 - h + 1)
+		if g.FreeAt(x, y, w, h) {
+			id := dtest.Placed(d, w, h, x, y)
+			if err := g.Insert(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 60, H: 5})
+	for _, ip := range r.EnumerateInsertionPoints(3, 2, nil) {
+		if ip.Lo > ip.Hi {
+			t.Fatalf("insertion point with empty range: %+v", ip)
+		}
+		for k, iv := range ip.Intervals {
+			if iv.RelRow != ip.BottomRel+k {
+				t.Fatalf("interval row mismatch at %d", k)
+			}
+			if ip.Lo < iv.Lo || ip.Hi > iv.Hi {
+				t.Fatalf("common range [%d,%d] not within interval [%d,%d]", ip.Lo, ip.Hi, iv.Lo, iv.Hi)
+			}
+		}
+	}
+}
+
+// TestEnumerateAbortBudget checks early termination via yield=false.
+func TestEnumerateAbortBudget(t *testing.T) {
+	d := dtest.Flat(1, 50)
+	for x := 0; x < 50; x += 10 {
+		id := dtest.Placed(d, 4, 1, x, 0)
+		_ = id
+	}
+	g := buildGrid(t, d)
+	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 50, H: 1})
+	n := 0
+	r.enumerate(2, 1, nil, func(ip *InsertionPoint) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("enumeration did not stop at budget: n=%d", n)
+	}
+}
+
+var _ = design.NoCell

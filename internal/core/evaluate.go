@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"mrlegal/internal/design"
+)
+
+// Evaluation is the outcome of scoring one insertion point: the optimal
+// site-aligned x for the target cell and the estimated total displacement
+// cost in site-width units (the paper's reporting unit).
+type Evaluation struct {
+	X    int
+	Cost float64
+	OK   bool
+}
+
+// pwlMin minimizes the convex piecewise-linear function
+//
+//	f(x) = Σ_p∈lpts max(0, p−x) + Σ_p∈rpts max(0, x−p)
+//
+// over the integers x ∈ [lo, hi] and returns the (leftmost) minimizer and
+// its value. This is the weighted-median computation of §5.2: lpts are the
+// critical positions of cells left of the target (their displacement
+// grows as x decreases past them), rpts those of cells on the right; the
+// target's own desired position appears in both lists, giving the
+// |x − x'_t| term of equation (3).
+func pwlMin(lpts, rpts []float64, lo, hi int) (int, float64) {
+	f := func(x int) float64 {
+		fx := float64(x)
+		var s float64
+		for _, p := range lpts {
+			if p > fx {
+				s += p - fx
+			}
+		}
+		for _, p := range rpts {
+			if fx > p {
+				s += fx - p
+			}
+		}
+		return s
+	}
+	// Binary search on the slope: f is convex, so f(m) <= f(m+1) implies
+	// the (leftmost) minimum lies in [lo, m].
+	a, b := lo, hi
+	for a < b {
+		m := a + (b-a)/2
+		if f(m) <= f(m+1) {
+			b = m
+		} else {
+			a = m + 1
+		}
+	}
+	return a, f(a)
+}
+
+// yCost returns the target's vertical displacement contribution in
+// site-width units for placing its bottom edge on absolute row y when the
+// desired (input) row is ty.
+func (r *Region) yCost(y int, ty float64) float64 {
+	dy := float64(y) - ty
+	if dy < 0 {
+		dy = -dy
+	}
+	return dy * float64(r.D.SiteH) / float64(r.D.SiteW)
+}
+
+// evaluateApprox scores an insertion point with the paper's O(h_t)
+// approximation (§5.2): only the ≤ 2·h_t direct neighboring cells
+// contribute critical positions. For a left neighbor i the critical
+// position is x_i + w_i; for a right neighbor j it is x_j − w_t.
+func (r *Region) evaluateApprox(ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
+	var lpts, rpts []float64
+	var seenL, seenR [8]design.CellID // h_t is tiny; fixed-size dedup
+	nl, nr := 0, 0
+	for _, iv := range ip.Intervals {
+		if iv.Left != design.NoCell && !contains(seenL[:nl], iv.Left) {
+			if nl < len(seenL) {
+				seenL[nl] = iv.Left
+				nl++
+			}
+			lc := r.info[iv.Left]
+			lpts = append(lpts, float64(lc.x+lc.w))
+		}
+		if iv.Right != design.NoCell && !contains(seenR[:nr], iv.Right) {
+			if nr < len(seenR) {
+				seenR[nr] = iv.Right
+				nr++
+			}
+			rc := r.info[iv.Right]
+			rpts = append(rpts, float64(rc.x-wt))
+		}
+	}
+	lpts = append(lpts, tx)
+	rpts = append(rpts, tx)
+	x, cost := pwlMin(lpts, rpts, ip.Lo, ip.Hi)
+	return Evaluation{X: x, Cost: cost + r.yCost(ip.BottomRow(r), ty), OK: true}
+}
+
+func contains(s []design.CellID, id design.CellID) bool {
+	for _, v := range s {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// clearances holds the exact minimal clearances (§5.2 critical-position
+// reconstruction) between the target and every transitively pushed cell:
+// kL[u] is how far above x_u the target's left edge must stay to leave u
+// unmoved (a_u = x_u + kL[u]); kR[u] the symmetric right-side value
+// (b_u = x_u − kR[u]).
+type clearances struct {
+	kL, kR map[design.CellID]int
+}
+
+// exactClearances computes the clearances for ip by propagating
+// tight-packing distances outward from the target's gaps:
+//
+//	kL_u = w_u + max{ kL_z : z immediate right neighbor of u in the
+//	                  pushed set }          (kL_i = w_i for gap neighbors)
+//	kR_u = max{ kR_z + w_z : z immediate left neighbor in the pushed set }
+//	                                        (kR_j = w_t for gap neighbors)
+//
+// Propagation crosses rows through multi-row cells, which is exactly what
+// makes the multi-row problem harder than the single-row one. Cells are
+// visited in x order so every dependency is resolved before use.
+func (r *Region) exactClearances(ip *InsertionPoint, wt int) clearances {
+	idx := make([]map[design.CellID]int, len(r.Segs))
+	for rel := range r.Segs {
+		if !r.Segs[rel].Valid {
+			continue
+		}
+		m := make(map[design.CellID]int, len(r.Segs[rel].Cells))
+		for i, id := range r.Segs[rel].Cells {
+			m[id] = i
+		}
+		idx[rel] = m
+	}
+	order := make([]*localCell, 0, len(r.info))
+	for _, lc := range r.info {
+		order = append(order, lc)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].x != order[j].x {
+			return order[i].x < order[j].x
+		}
+		return order[i].id < order[j].id
+	})
+
+	cl := clearances{kL: make(map[design.CellID]int), kR: make(map[design.CellID]int)}
+	for _, iv := range ip.Intervals {
+		if iv.Left != design.NoCell {
+			lc := r.info[iv.Left]
+			if lc.w > cl.kL[iv.Left] {
+				cl.kL[iv.Left] = lc.w
+			}
+		}
+		if iv.Right != design.NoCell {
+			if wt > cl.kR[iv.Right] {
+				cl.kR[iv.Right] = wt
+			}
+		}
+	}
+	// Left side: decreasing x; relax immediate left neighbors.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		ku, ok := cl.kL[u.id]
+		if !ok {
+			continue
+		}
+		for h := 0; h < u.h; h++ {
+			rel := r.RelRow(u.y + h)
+			pos := idx[rel][u.id]
+			if pos == 0 {
+				continue
+			}
+			v := r.info[r.Segs[rel].Cells[pos-1]]
+			if kv := ku + v.w; kv > cl.kL[v.id] {
+				cl.kL[v.id] = kv
+			}
+		}
+	}
+	// Right side: increasing x; relax immediate right neighbors.
+	for _, u := range order {
+		ku, ok := cl.kR[u.id]
+		if !ok {
+			continue
+		}
+		for h := 0; h < u.h; h++ {
+			rel := r.RelRow(u.y + h)
+			cells := r.Segs[rel].Cells
+			pos := idx[rel][u.id]
+			if pos+1 >= len(cells) {
+				continue
+			}
+			v := r.info[cells[pos+1]]
+			if kv := ku + u.w; kv > cl.kR[v.id] {
+				cl.kR[v.id] = kv
+			}
+		}
+	}
+	return cl
+}
+
+// points converts clearances to critical-position multisets.
+func (r *Region) points(cl clearances) (lpts, rpts []float64) {
+	for id, k := range cl.kL {
+		lpts = append(lpts, float64(r.info[id].x+k))
+	}
+	for id, k := range cl.kR {
+		rpts = append(rpts, float64(r.info[id].x-k))
+	}
+	return lpts, rpts
+}
+
+// evaluateExact scores an insertion point using the full exact
+// displacement curve of equation (3): every transitively pushed local
+// cell contributes its true critical position. The paper reports the
+// exact method as O(|C_W|) but omits its construction for space; this is
+// our reconstruction (see exactClearances).
+func (r *Region) evaluateExact(ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
+	cl := r.exactClearances(ip, wt)
+	for id := range cl.kL {
+		if _, both := cl.kR[id]; both {
+			// Reachable from both sides ⇒ the insertion point is
+			// geometrically inconsistent; reject it.
+			return Evaluation{}
+		}
+	}
+	lpts, rpts := r.points(cl)
+	lpts = append(lpts, tx)
+	rpts = append(rpts, tx)
+	x, cost := pwlMin(lpts, rpts, ip.Lo, ip.Hi)
+	return Evaluation{X: x, Cost: cost + r.yCost(ip.BottomRow(r), ty), OK: true}
+}
+
+// ExactCost returns the true total displacement (in site widths) that
+// realizing ip with the target at x causes, including the target's own
+// deviation from its desired position (tx, ty). Tests use it to validate
+// both evaluators against realized outcomes.
+func (r *Region) ExactCost(ip *InsertionPoint, wt int, x int, tx, ty float64) float64 {
+	cl := r.exactClearances(ip, wt)
+	for id := range cl.kL {
+		if _, both := cl.kR[id]; both {
+			return math.Inf(1)
+		}
+	}
+	lpts, rpts := r.points(cl)
+	lpts = append(lpts, tx)
+	rpts = append(rpts, tx)
+	fx := float64(x)
+	var s float64
+	for _, p := range lpts {
+		if p > fx {
+			s += p - fx
+		}
+	}
+	for _, p := range rpts {
+		if fx > p {
+			s += fx - p
+		}
+	}
+	return s + r.yCost(ip.BottomRow(r), ty)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"mrlegal/internal/design"
+)
+
+// Interval is an insertion interval I^r_{i,j} (§5.1.1): a gap on one local
+// segment together with the leftmost and rightmost x positions the target
+// cell may take inside it. Lo and Hi are both inclusive; Lo == Hi means
+// the target position is pinned (Figure 7e). Intervals with Hi < Lo are
+// never constructed (Figure 7f, discarded).
+type Interval struct {
+	RelRow int // window-relative row of the segment the gap lies on
+
+	// GapIdx identifies the gap: the target is inserted between
+	// Cells[GapIdx-1] and Cells[GapIdx] of the local segment's cell list.
+	// GapIdx 0 is the gap at the left segment boundary; GapIdx ==
+	// len(Cells) is the gap at the right boundary.
+	GapIdx int
+
+	// Left and Right are the neighboring cells (design.NoCell at a
+	// segment boundary).
+	Left, Right design.CellID
+
+	Lo, Hi int // inclusive bounds for the target cell's x in this gap
+}
+
+// Len returns Hi - Lo (≥ 0 for constructed intervals).
+func (iv *Interval) Len() int { return iv.Hi - iv.Lo }
+
+// buildIntervals enumerates every non-negative insertion interval in the
+// region for a target cell of width wt, grouped by window-relative row.
+//
+// Per §5.1.1, for a gap between cells i and j on segment r:
+//
+//	lo = xL_i + w_i   (or the segment start when the gap is at the boundary)
+//	hi = xR_j - w_t   (or segment end − w_t at the right boundary)
+func (r *Region) buildIntervals(wt int) [][]Interval {
+	out := make([][]Interval, len(r.Segs))
+	for rel := range r.Segs {
+		ls := &r.Segs[rel]
+		if !ls.Valid || ls.Span.Len() < wt {
+			continue
+		}
+		n := len(ls.Cells)
+		ivs := make([]Interval, 0, n+1)
+		for k := 0; k <= n; k++ {
+			iv := Interval{RelRow: rel, GapIdx: k, Left: design.NoCell, Right: design.NoCell}
+			if k == 0 {
+				iv.Lo = ls.Span.Lo
+			} else {
+				lc := r.info[ls.Cells[k-1]]
+				iv.Left = lc.id
+				iv.Lo = lc.xL + lc.w
+			}
+			if k == n {
+				iv.Hi = ls.Span.Hi - wt
+			} else {
+				rc := r.info[ls.Cells[k]]
+				iv.Right = rc.id
+				iv.Hi = rc.xR - wt
+			}
+			if iv.Hi >= iv.Lo {
+				ivs = append(ivs, iv)
+			}
+		}
+		out[rel] = ivs
+	}
+	return out
+}
+
+// sideOf reports whether the interval sits left (-1) or right (+1) of
+// multi-row cell m on the interval's row, or 0 when m does not occupy that
+// row. Gap index k ≤ index(m) is left of m; k > index(m) is right.
+func (r *Region) sideOf(iv *Interval, m design.CellID) int {
+	lc := r.info[m]
+	rel := iv.RelRow
+	y := r.AbsRow(rel)
+	if y < lc.y || y >= lc.y+lc.h {
+		return 0
+	}
+	cells := r.Segs[rel].Cells
+	// Find m's index on this row. Lists are short; linear scan around the
+	// gap is fine, but a full scan keeps it simple and obviously correct.
+	for idx, id := range cells {
+		if id == m {
+			if iv.GapIdx <= idx {
+				return -1
+			}
+			return +1
+		}
+	}
+	return 0
+}
+
+// InsertionPoint is a combination of h_t insertion intervals from h_t
+// vertically consecutive segments with a common feasible x range (§5.1.2).
+type InsertionPoint struct {
+	BottomRel int         // window-relative row of the target cell's bottom
+	Intervals []*Interval // Intervals[k] lies on row BottomRel+k
+	Lo, Hi    int         // common inclusive x range (∩ of interval ranges)
+}
+
+// BottomRow returns the absolute row index of the target's bottom edge.
+func (ip *InsertionPoint) BottomRow(r *Region) int { return r.AbsRow(ip.BottomRel) }
+
+// validMultiRow checks the §5.1.2 constraint that intervals on opposite
+// sides of a multi-row local cell never form one insertion point: for
+// every multi-row cell spanning several of the insertion point's rows, all
+// its spanned intervals must lie on the same side.
+func (r *Region) validMultiRow(ip *InsertionPoint) bool {
+	for _, m := range r.multiRow {
+		side := 0
+		for _, iv := range ip.Intervals {
+			s := r.sideOf(iv, m)
+			if s == 0 {
+				continue
+			}
+			if side == 0 {
+				side = s
+			} else if side != s {
+				return false
+			}
+		}
+	}
+	return true
+}

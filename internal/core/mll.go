@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/segment"
+)
+
+// Config tunes the legalizer. The zero value is NOT usable; start from
+// DefaultConfig.
+type Config struct {
+	// Rx, Ry set the local-region window half-extent in sites and rows:
+	// the window is (x_t−Rx, y_t−Ry, 2Rx+w_t, 2Ry+h_t). The paper uses
+	// Rx = 30, Ry = 5.
+	Rx, Ry int
+
+	// PowerAlign enforces the power-rail alignment constraint (even-height
+	// cells only on rows of matching rail parity). Table 1's right half
+	// relaxes it.
+	PowerAlign bool
+
+	// ExactEval switches insertion-point evaluation from the paper's
+	// neighbor-only approximation (§5.2) to exact critical-position
+	// propagation. Off by default, matching the paper.
+	ExactEval bool
+
+	// Seed drives the retry-offset random stream of Algorithm 1.
+	Seed int64
+
+	// MaxRounds caps the retry iterations of Algorithm 1 (the paper loops
+	// until all cells are placed; a cap turns pathological inputs into a
+	// reported error instead of a hang).
+	MaxRounds int
+
+	// MaxInsertionPoints caps how many insertion points a single MLL call
+	// evaluates; 0 means unlimited. Enumeration is O(|C_W|^h), so a cap
+	// bounds the tail on dense multi-row windows.
+	MaxInsertionPoints int
+
+	// EscalateWindow is an implementation extension over the paper: when a
+	// cell stays unplaced after several retry rounds, the local-region
+	// window grows with the round number until it covers the chip. The
+	// paper's Algorithm 1 retries forever with a fixed window, which can
+	// live-lock on dense instances where the solution needs compaction
+	// beyond one window; escalation makes those terminate. It never
+	// triggers on instances the fixed window can solve.
+	EscalateWindow bool
+
+	// TallFirst places multi-row cells before single-row cells in
+	// Algorithm 1 (within each class, input order). The paper places "in
+	// an arbitrary order"; tall-first is the standard choice for dense
+	// designs, where rail-parity row bands fragment quickly once
+	// single-row cells land. On.
+	TallFirst bool
+
+	// Solver, when non-nil, replaces the built-in enumerate-and-evaluate
+	// local solver with an external one (the paper's §6 ILP baseline
+	// plugs in here: "the MLL algorithm is replaced by a procedure of
+	// constructing and solving the ILP problem"). Algorithm 1 and the
+	// realization machinery are shared.
+	Solver LocalSolver
+}
+
+// LocalSolver selects an insertion point and target x for one local
+// legalization problem. Implementations must only return insertion points
+// that are valid for the region (e.g. built via Region.IntervalAt).
+type LocalSolver interface {
+	// SelectInsertionPoint returns the chosen insertion point and the
+	// target cell x position, or ok == false when the local problem has
+	// no solution. allowRow filters the absolute bottom row (nil = all).
+	SelectInsertionPoint(r *Region, c *design.Cell, tx, ty float64, allowRow func(int) bool) (ip *InsertionPoint, x int, ok bool)
+}
+
+// DefaultConfig returns the paper's parameter settings.
+func DefaultConfig() Config {
+	return Config{
+		Rx:                 30,
+		Ry:                 5,
+		PowerAlign:         true,
+		ExactEval:          false,
+		Seed:               1,
+		MaxRounds:          64,
+		MaxInsertionPoints: 0,
+		EscalateWindow:     true,
+		TallFirst:          true,
+	}
+}
+
+// Stats counts legalizer activity, for reporting and benchmarks.
+type Stats struct {
+	DirectPlacements int // cells placed with no legalization needed
+	MLLCalls         int
+	MLLSuccesses     int
+	MLLFailures      int
+	InsertionPoints  int64 // insertion points evaluated
+	CellsPushed      int64 // local cells moved by realizations
+	RetryRounds      int   // extra Algorithm-1 rounds needed
+}
+
+// Legalizer binds a design, its segment grid and a configuration, and
+// offers both full legalization (Algorithm 1) and incremental MLL calls.
+type Legalizer struct {
+	D   *design.Design
+	G   *segment.Grid
+	Cfg Config
+
+	rng   *rng
+	stats Stats
+
+	// lastMoved records the local cells shifted by the most recent
+	// successful realization (excluding the target). Reused buffer.
+	lastMoved []design.CellID
+}
+
+// LastMoved returns the cells pushed aside by the most recent successful
+// MLL realization, excluding the target itself. The slice is reused by
+// the next call; copy it to retain. Incremental optimizers use it to
+// update net-length caches after a move.
+func (l *Legalizer) LastMoved() []design.CellID { return l.lastMoved }
+
+// NewLegalizer builds the segment grid for d (inserting any already
+// placed movable cells) and returns a ready legalizer.
+func NewLegalizer(d *design.Design, cfg Config) (*Legalizer, error) {
+	g := segment.Build(d)
+	if err := g.RebuildOccupancy(); err != nil {
+		return nil, err
+	}
+	return &Legalizer{D: d, G: g, Cfg: cfg, rng: newRNG(cfg.Seed)}, nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (l *Legalizer) Stats() Stats { return l.stats }
+
+// allowRowFn returns the power-rail row filter for master m, or nil when
+// alignment is relaxed.
+func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
+	if !l.Cfg.PowerAlign {
+		return nil
+	}
+	d := l.D
+	return func(y int) bool { return d.RailCompatible(m, y) }
+}
+
+// MLL runs Multi-row Local Legalization (§4) for the unplaced cell id
+// with desired position (tx, ty) in fractional site units: it extracts
+// the local region around the target, enumerates valid insertion points,
+// evaluates them, and realizes the best one. It reports whether a legal
+// placement was found; on failure the design is unchanged.
+func (l *Legalizer) MLL(id design.CellID, tx, ty float64) bool {
+	return l.mllWindow(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+}
+
+// mllWindow is MLL with an explicit window half-extent (used by the
+// window-escalation fallback of the driver).
+func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) bool {
+	l.stats.MLLCalls++
+	c := l.D.Cell(id)
+	if c.Placed {
+		panic("core: MLL target must be unplaced")
+	}
+	xc := int(math.Round(tx))
+	yc := int(math.Round(ty))
+	win := geom.Rect{
+		X: xc - rx,
+		Y: yc - ry,
+		W: 2*rx + c.W,
+		H: 2*ry + c.H,
+	}
+	r := ExtractRegion(l.G, win)
+	var ip *InsertionPoint
+	var x int
+	if l.Cfg.Solver != nil {
+		var ok bool
+		ip, x, ok = l.Cfg.Solver.SelectInsertionPoint(r, c, tx, ty, l.allowRowFn(l.D.MasterOf(id)))
+		if !ok {
+			ip = nil
+		}
+	} else {
+		var ev Evaluation
+		ip, ev = l.bestInsertionPoint(r, c, tx, ty)
+		x = ev.X
+	}
+	if ip == nil {
+		l.stats.MLLFailures++
+		return false
+	}
+	moved, err := r.Realize(ip, x, id)
+	if err != nil {
+		// Should not happen for enumerated insertion points; treat as a
+		// failed attempt rather than corrupting the run.
+		l.stats.MLLFailures++
+		return false
+	}
+	l.stats.MLLSuccesses++
+	l.stats.CellsPushed += int64(len(moved))
+	l.lastMoved = append(l.lastMoved[:0], moved...)
+	return true
+}
+
+// bestInsertionPoint enumerates and evaluates insertion points for target
+// cell c in region r, returning the best (nil when none exists).
+func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64) (*InsertionPoint, Evaluation) {
+	m := l.D.MasterOf(c.ID)
+	allow := l.allowRowFn(m)
+	var best *InsertionPoint
+	var bestEv Evaluation
+	n := 0
+	r.enumerate(c.W, c.H, allow, func(ip *InsertionPoint) bool {
+		var ev Evaluation
+		if l.Cfg.ExactEval {
+			ev = r.evaluateExact(ip, c.W, tx, ty)
+		} else {
+			ev = r.evaluateApprox(ip, c.W, tx, ty)
+		}
+		n++
+		if ev.OK && (best == nil || better(ev, bestEv)) {
+			best, bestEv = ip, ev
+		}
+		return l.Cfg.MaxInsertionPoints == 0 || n < l.Cfg.MaxInsertionPoints
+	})
+	l.stats.InsertionPoints += int64(n)
+	return best, bestEv
+}
+
+// better orders evaluations: lower cost wins; ties break deterministically
+// on x.
+func better(a, b Evaluation) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.X < b.X
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/segment"
+)
+
+// randomLegalDesign builds a small random legal placement for the quick
+// property tests.
+func randomLegalDesign(seed int64) (*design.Design, *segment.Grid) {
+	rng := rand.New(rand.NewSource(seed))
+	rows := 2 + rng.Intn(4)
+	width := 20 + rng.Intn(25)
+	d := dtest.Flat(rows, width)
+	g := mustGrid(d)
+	for i := 0; i < 10; i++ {
+		w := 1 + rng.Intn(5)
+		h := 1 + rng.Intn(min(3, rows))
+		x := rng.Intn(width - w + 1)
+		y := rng.Intn(rows - h + 1)
+		if g.FreeAt(x, y, w, h) {
+			id := dtest.Placed(d, w, h, x, y)
+			if err := g.Insert(id); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return d, g
+}
+
+func mustGrid(d *design.Design) *segment.Grid {
+	g := segment.Build(d)
+	if err := g.RebuildOccupancy(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func designMaster31() design.Master {
+	return design.Master{Name: "q3x1", Width: 3, Height: 1, BottomRail: design.VSS}
+}

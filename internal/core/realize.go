@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"mrlegal/internal/design"
+)
+
+// Realize applies Algorithm 2 (§5.3): it places the target cell at
+// (x, bottom row of ip) and resolves overlaps by pushing cells away from
+// the target — left neighbors leftward, right neighbors rightward — with
+// pushes propagating across rows through multi-row cells. The insertion
+// point must have been produced by the enumeration and x must lie in
+// [ip.Lo, ip.Hi], which together guarantee the pushes stay inside the
+// local segments.
+//
+// On success it commits all position changes to the design and the
+// segment grid, places the target, and returns the cells that moved.
+func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]design.CellID, error) {
+	if x < ip.Lo || x > ip.Hi {
+		return nil, fmt.Errorf("core: realize x=%d outside insertion point range [%d,%d]", x, ip.Lo, ip.Hi)
+	}
+	d := r.D
+	tc := d.Cell(target)
+	if tc.Placed {
+		return nil, fmt.Errorf("core: realize target cell %d already placed", target)
+	}
+	yBot := ip.BottomRow(r)
+
+	// Insert the target into each row's local list at its gap.
+	tinfo := &localCell{id: target, x: x, y: yBot, w: tc.W, h: tc.H}
+	r.info[target] = tinfo
+	defer delete(r.info, target)
+	for k, iv := range ip.Intervals {
+		rel := ip.BottomRel + k
+		_ = iv
+		cells := r.Segs[rel].Cells
+		g := ip.Intervals[k].GapIdx
+		cells = append(cells, design.NoCell)
+		copy(cells[g+1:], cells[g:])
+		cells[g] = target
+		r.Segs[rel].Cells = cells
+	}
+	restore := func() {
+		for k := range ip.Intervals {
+			rel := ip.BottomRel + k
+			cells := r.Segs[rel].Cells
+			g := ip.Intervals[k].GapIdx
+			r.Segs[rel].Cells = append(cells[:g], cells[g+1:]...)
+		}
+	}
+
+	// Index each cell's position per row for O(1) neighbor lookup.
+	idx := make([]map[design.CellID]int, len(r.Segs))
+	for rel := range r.Segs {
+		if !r.Segs[rel].Valid {
+			continue
+		}
+		m := make(map[design.CellID]int, len(r.Segs[rel].Cells))
+		for i, id := range r.Segs[rel].Cells {
+			m[id] = i
+		}
+		idx[rel] = m
+	}
+
+	// A cell can be re-pushed through different rows, so re-enqueueing is
+	// allowed; the budget bounds the (theoretically impossible) runaway.
+	budget := (len(r.info) + 2) * 8 * len(r.Segs)
+	moved := make(map[design.CellID]bool)
+
+	// Left pass.
+	queue := []design.CellID{target}
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			restore()
+			return nil, fmt.Errorf("core: realize left push did not converge (insertion point inconsistent)")
+		}
+		u := r.info[queue[0]]
+		queue = queue[1:]
+		for h := 0; h < u.h; h++ {
+			rel := r.RelRow(u.y + h)
+			pos := idx[rel][u.id]
+			if pos == 0 {
+				continue
+			}
+			v := r.info[r.Segs[rel].Cells[pos-1]]
+			if v.x+v.w > u.x {
+				v.x = u.x - v.w
+				moved[v.id] = true
+				queue = append(queue, v.id)
+			}
+		}
+	}
+	// Right pass.
+	queue = append(queue[:0], target)
+	for len(queue) > 0 {
+		if budget--; budget < 0 {
+			restore()
+			return nil, fmt.Errorf("core: realize right push did not converge (insertion point inconsistent)")
+		}
+		u := r.info[queue[0]]
+		queue = queue[1:]
+		for h := 0; h < u.h; h++ {
+			rel := r.RelRow(u.y + h)
+			cells := r.Segs[rel].Cells
+			pos := idx[rel][u.id]
+			if pos+1 >= len(cells) {
+				continue
+			}
+			v := r.info[cells[pos+1]]
+			if v.x < u.x+u.w {
+				v.x = u.x + u.w
+				moved[v.id] = true
+				queue = append(queue, v.id)
+			}
+		}
+	}
+
+	// Validate that pushes stayed inside the local segments (guaranteed
+	// by construction of Lo/Hi; cheap to confirm).
+	for id := range moved {
+		lc := r.info[id]
+		if lc.x < lc.xL || lc.x > lc.xR {
+			restore()
+			return nil, fmt.Errorf("core: realize pushed cell %d to x=%d outside its feasible range [%d,%d]", id, lc.x, lc.xL, lc.xR)
+		}
+	}
+
+	// Commit to the design and segment grid. Order within each segment
+	// list is preserved by the push passes, so ShiftX suffices.
+	out := make([]design.CellID, 0, len(moved))
+	for id := range moved {
+		if id == target {
+			continue
+		}
+		r.G.ShiftX(id, r.info[id].x)
+		out = append(out, id)
+	}
+	d.Place(target, x, yBot)
+	if err := r.G.Insert(target); err != nil {
+		return nil, fmt.Errorf("core: realize commit: %w", err)
+	}
+	return out, nil
+}

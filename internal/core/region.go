@@ -1,0 +1,302 @@
+// Package core implements the paper's primary contribution: the Multi-row
+// Local Legalization algorithm (MLL, §4–§5) and the top-level legalization
+// driver (Algorithm 1, §3).
+//
+// The pipeline for one MLL call is:
+//
+//	window → ExtractRegion (§2.1.3) → leftmost/rightmost placement and
+//	insertion intervals (§5.1.1) → scanline enumeration of valid insertion
+//	points (§5.1.3) → evaluation (§5.2) → realization (§5.3, Algorithm 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/segment"
+)
+
+// localCell carries the per-cell state MLL needs inside one region.
+type localCell struct {
+	id   design.CellID
+	x, y int // current placement
+	w, h int
+	xL   int // x in the leftmost placement (§5.1.1)
+	xR   int // x in the rightmost placement
+}
+
+// LocalSeg is the single local segment chosen on one window row
+// (§2.1.3). Rows with no usable free run have Valid == false.
+type LocalSeg struct {
+	Row   int // absolute row index
+	Valid bool
+	Span  geom.Span // local segment extent (subset of one grid segment)
+	// Cells overlapping this row inside Span, ordered by x. All entries
+	// are local cells.
+	Cells []design.CellID
+}
+
+// Region is an extracted local legalization problem: the window, the
+// chosen local segment per row, and the local cells (cells completely
+// contained in the local segments, all free to shift horizontally).
+type Region struct {
+	D   *design.Design
+	G   *segment.Grid
+	Win geom.Rect // clipped window
+
+	// Segs has one entry per window row, bottom to top; Segs[i] covers
+	// absolute row Win.Y+i.
+	Segs []LocalSeg
+
+	// info maps each local cell to its region-local state.
+	info map[design.CellID]*localCell
+	// multiRow lists the local cells spanning more than one row, used by
+	// insertion-point validity checks.
+	multiRow []design.CellID
+}
+
+// NumLocalCells returns the number of local cells |C_W|.
+func (r *Region) NumLocalCells() int { return len(r.info) }
+
+// LocalCells returns the IDs of all local cells in ascending ID order.
+func (r *Region) LocalCells() []design.CellID {
+	out := make([]design.CellID, 0, len(r.info))
+	for id := range r.info {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RelRow converts an absolute row index to a window-relative one.
+func (r *Region) RelRow(y int) int { return y - r.Win.Y }
+
+// AbsRow converts a window-relative row index to an absolute one.
+func (r *Region) AbsRow(rel int) int { return rel + r.Win.Y }
+
+// ExtractRegion builds the local region for the given window (§2.1.3).
+//
+// Cells not completely inside the window are non-local. Each window row is
+// divided by blockages, segment boundaries and non-local cells into free
+// runs; the run closest to the window centre becomes the row's local
+// segment. A cell is local only when every row it spans contains it inside
+// that row's local segment; marking a cell non-local re-divides the rows,
+// so the division iterates to a fixpoint (this is how cells like i and c
+// in Figure 3 end up non-local despite being inside the window).
+func ExtractRegion(g *segment.Grid, win geom.Rect) *Region {
+	d := g.Design()
+	// Clip the window vertically to existing rows; x is left as-is, the
+	// per-segment intersection below handles horizontal clipping.
+	yLo := max(win.Y, 0)
+	yHi := min(win.Y2(), d.NumRows())
+	win = geom.Rect{X: win.X, Y: yLo, W: win.W, H: yHi - yLo}
+	r := &Region{
+		D:    d,
+		G:    g,
+		Win:  win,
+		info: make(map[design.CellID]*localCell),
+	}
+	if win.Empty() {
+		return r
+	}
+	winSpan := geom.Span{Lo: win.X, Hi: win.X2()}
+
+	all := g.CellsIn(win, nil)
+	nonLocal := make(map[design.CellID]bool)
+	candidates := make([]design.CellID, 0, len(all))
+	for _, id := range all {
+		c := d.Cell(id)
+		if c.Fixed || !win.Contains(c.Rect()) {
+			nonLocal[id] = true
+		} else {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	centerX := win.X + win.W/2
+	r.Segs = make([]LocalSeg, win.H)
+	for {
+		// Divide each window row into free runs and choose the run
+		// closest to the window centre.
+		for rel := 0; rel < win.H; rel++ {
+			y := win.Y + rel
+			r.Segs[rel] = chooseLocalSeg(g, d, y, winSpan, nonLocal, centerX)
+		}
+		// Demote cells that are not fully inside the chosen local
+		// segments of every row they span.
+		changed := false
+		for _, id := range candidates {
+			if nonLocal[id] {
+				continue
+			}
+			c := d.Cell(id)
+			for h := 0; h < c.H; h++ {
+				ls := &r.Segs[r.RelRow(c.Y+h)]
+				if !ls.Valid || !ls.Span.Contains(geom.Span{Lo: c.X, Hi: c.X + c.W}) {
+					nonLocal[id] = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Populate the per-row local cell lists and the cell info table.
+	for _, id := range candidates {
+		if nonLocal[id] {
+			continue
+		}
+		c := d.Cell(id)
+		r.info[id] = &localCell{id: id, x: c.X, y: c.Y, w: c.W, h: c.H}
+		if c.H > 1 {
+			r.multiRow = append(r.multiRow, id)
+		}
+	}
+	for rel := range r.Segs {
+		ls := &r.Segs[rel]
+		if !ls.Valid {
+			continue
+		}
+		for _, id := range candidates {
+			if _, ok := r.info[id]; !ok {
+				continue
+			}
+			c := d.Cell(id)
+			if c.Y <= ls.Row && ls.Row < c.Y+c.H {
+				ls.Cells = append(ls.Cells, id)
+			}
+		}
+		cells := ls.Cells
+		sort.Slice(cells, func(i, j int) bool { return d.Cell(cells[i]).X < d.Cell(cells[j]).X })
+	}
+	r.computeBounds()
+	return r
+}
+
+// chooseLocalSeg divides row y inside winSpan by blockages/segment
+// boundaries and non-local cells and returns the free run closest to
+// centerX, per §2.1.3.
+func chooseLocalSeg(g *segment.Grid, d *design.Design, y int, winSpan geom.Span, nonLocal map[design.CellID]bool, centerX int) LocalSeg {
+	ls := LocalSeg{Row: y}
+	bestDist := 0
+	for _, s := range g.RowSegments(y) {
+		base := s.Span.Intersect(winSpan)
+		if base.Empty() {
+			continue
+		}
+		// Collect the spans of non-local cells on this row and subtract.
+		cur := base.Lo
+		emit := func(lo, hi int) {
+			if hi <= lo {
+				return
+			}
+			sp := geom.Span{Lo: lo, Hi: hi}
+			dist := spanDist(sp, centerX)
+			if !ls.Valid || dist < bestDist ||
+				(dist == bestDist && sp.Len() > ls.Span.Len()) ||
+				(dist == bestDist && sp.Len() == ls.Span.Len() && sp.Lo < ls.Span.Lo) {
+				ls.Valid = true
+				ls.Span = sp
+				bestDist = dist
+			}
+		}
+		for _, id := range s.Cells() {
+			if !nonLocal[id] {
+				continue
+			}
+			c := d.Cell(id)
+			if c.X+c.W <= cur {
+				continue
+			}
+			if c.X >= base.Hi {
+				break
+			}
+			emit(cur, min(c.X, base.Hi))
+			cur = max(cur, c.X+c.W)
+			if cur >= base.Hi {
+				break
+			}
+		}
+		emit(cur, base.Hi)
+	}
+	return ls
+}
+
+// spanDist is the horizontal distance from x to the span (0 when inside).
+func spanDist(sp geom.Span, x int) int {
+	switch {
+	case x < sp.Lo:
+		return sp.Lo - x
+	case x >= sp.Hi:
+		return x - (sp.Hi - 1)
+	default:
+		return 0
+	}
+}
+
+// computeBounds fills in the leftmost and rightmost placements xL/xR of
+// every local cell (§5.1.1) with a two-pass multi-segment squeeze. Cells
+// are processed in ascending current-x order, which is consistent with the
+// per-segment order because the current placement is legal.
+func (r *Region) computeBounds() {
+	order := make([]*localCell, 0, len(r.info))
+	for _, lc := range r.info {
+		order = append(order, lc)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].x != order[j].x {
+			return order[i].x < order[j].x
+		}
+		return order[i].id < order[j].id
+	})
+	cursor := make([]int, len(r.Segs))
+	for rel := range r.Segs {
+		if r.Segs[rel].Valid {
+			cursor[rel] = r.Segs[rel].Span.Lo
+		}
+	}
+	for _, lc := range order {
+		xl := cursor[r.RelRow(lc.y)]
+		for h := 1; h < lc.h; h++ {
+			xl = max(xl, cursor[r.RelRow(lc.y+h)])
+		}
+		lc.xL = xl
+		for h := 0; h < lc.h; h++ {
+			cursor[r.RelRow(lc.y+h)] = xl + lc.w
+		}
+	}
+	for rel := range r.Segs {
+		if r.Segs[rel].Valid {
+			cursor[rel] = r.Segs[rel].Span.Hi
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		lc := order[i]
+		xr := int(^uint(0) >> 1) // MaxInt
+		for h := 0; h < lc.h; h++ {
+			rel := r.RelRow(lc.y + h)
+			xr = min(xr, cursor[rel]-lc.w)
+		}
+		lc.xR = xr
+		for h := 0; h < lc.h; h++ {
+			cursor[r.RelRow(lc.y+h)] = xr
+		}
+	}
+}
+
+// checkBounds validates xL ≤ x ≤ xR for every local cell; the input
+// placement being legal guarantees it. Used by tests and debug mode.
+func (r *Region) checkBounds() error {
+	for _, lc := range r.info {
+		if lc.xL > lc.x || lc.x > lc.xR {
+			return fmt.Errorf("core: cell %d bounds xL=%d x=%d xR=%d inconsistent", lc.id, lc.xL, lc.x, lc.xR)
+		}
+	}
+	return nil
+}

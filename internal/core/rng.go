@@ -1,0 +1,33 @@
+package core
+
+// rng is a small deterministic splitmix64 generator. Using our own
+// generator (rather than math/rand) pins the retry-offset stream of
+// Algorithm 1 across Go releases, keeping experiment outputs bit-stable.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform value in [-k, k].
+func (r *rng) rangeInt(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	return r.intn(2*k+1) - k
+}

@@ -1,0 +1,66 @@
+// Package dtest provides small design-construction helpers shared by the
+// test suites of the other packages. It is not part of the public API.
+package dtest
+
+import (
+	"fmt"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+)
+
+// SiteW and SiteH are the physical site dimensions used by test designs,
+// in database units: a 0.2 µm × 2.0 µm site (1 DBU = 1 nm), the typical
+// shape of a modern standard-cell site.
+const (
+	SiteW = 200
+	SiteH = 2000
+)
+
+// Flat returns a design with rows rows of the given width (sites) and no
+// blockages.
+func Flat(rows, width int) *design.Design {
+	d := design.New("test", SiteW, SiteH)
+	d.AddUniformRows(rows, geom.Span{Lo: 0, Hi: width})
+	return d
+}
+
+// Master ensures a master of the given size exists and returns its index.
+// Masters are deduplicated by (w, h, rail).
+func Master(d *design.Design, w, h int, rail design.Rail) int {
+	name := fmt.Sprintf("M%dx%d_%v", w, h, rail)
+	for i := range d.Lib {
+		if d.Lib[i].Name == name {
+			return i
+		}
+	}
+	return d.AddMaster(design.Master{Name: name, Width: w, Height: h, BottomRail: rail})
+}
+
+// Placed adds a cell of size w×h placed at (x, y) with its input position
+// equal to its placement, and returns its ID. The rail is chosen so the
+// cell is compatible with row y.
+func Placed(d *design.Design, w, h, x, y int) design.CellID {
+	rail := d.RowBottomRail(y)
+	mi := Master(d, w, h, rail)
+	id := d.AddCell(fmt.Sprintf("c%d", len(d.Cells)), mi, float64(x), float64(y))
+	d.Place(id, x, y)
+	return id
+}
+
+// Unplaced adds an unplaced cell of size w×h with input position (gx, gy)
+// and returns its ID.
+func Unplaced(d *design.Design, w, h int, gx, gy float64) design.CellID {
+	rail := design.VSS
+	if h%2 == 0 {
+		// Give even-height cells the rail compatible with the nearest row
+		// below gy so tests that enable power alignment behave intuitively.
+		y := int(gy)
+		if y < 0 {
+			y = 0
+		}
+		rail = d.RowBottomRail(y)
+	}
+	mi := Master(d, w, h, rail)
+	return d.AddCell(fmt.Sprintf("c%d", len(d.Cells)), mi, gx, gy)
+}

@@ -1,0 +1,330 @@
+// Package experiments regenerates the paper's evaluation artifacts:
+// Table 1 (MLL vs. the ILP baseline under both power-alignment modes on
+// the 20 ISPD-2015-shaped benchmarks), the §6 relaxation comparison, and
+// the ablations called out in DESIGN.md (approximate vs. exact insertion
+// point evaluation, window-size sweep, related-work baselines).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/design"
+	"mrlegal/internal/gp"
+	"mrlegal/internal/ilplegal"
+	"mrlegal/internal/netlist"
+	"mrlegal/internal/verify"
+)
+
+// LegalizeResult captures the three Table-1 metrics for one run.
+type LegalizeResult struct {
+	AvgDisp   float64       // average cell displacement, in site widths
+	DeltaHPWL float64       // (HPWL_after − HPWL_GP)/HPWL_GP
+	Runtime   time.Duration // legalization wall time
+	Legal     bool          // verified against §2 constraints
+	Err       string        // non-empty when legalization failed
+}
+
+// ModeResult pairs the ILP baseline and our MLL legalizer for one
+// power-alignment mode.
+type ModeResult struct {
+	ILP  LegalizeResult
+	Ours LegalizeResult
+}
+
+// Table1Row is one benchmark row of Table 1.
+type Table1Row struct {
+	Name    string
+	SCells  int
+	DCells  int
+	Density float64
+	GPHPWL  float64 // metres, like the paper's "GP HPWL(m)" column
+
+	Aligned ModeResult // power line aligned
+	Relaxed ModeResult // power line not aligned
+}
+
+// Table1Config controls a Table-1 run.
+type Table1Config struct {
+	Scale    int      // benchmark downscale factor (see bengen.Table1Specs)
+	SkipILP  bool     // skip the ILP baseline (it is the slow column)
+	Only     []string // restrict to these benchmark names (nil = all)
+	Progress io.Writer
+
+	// ILPMaxNodes bounds branch & bound per local MILP (0 = solver default).
+	ILPMaxNodes int
+	// Rx, Ry override the window size (0 = paper defaults 30, 5).
+	Rx, Ry int
+	// Seed offsets all generator/placer seeds for sensitivity runs.
+	Seed int64
+}
+
+func (c *Table1Config) defaults() {
+	if c.Scale == 0 {
+		c.Scale = 200
+	}
+	if c.Rx == 0 {
+		c.Rx = 30
+	}
+	if c.Ry == 0 {
+		c.Ry = 5
+	}
+}
+
+// Prepared is a generated-and-globally-placed benchmark ready for
+// legalization runs.
+type Prepared struct {
+	Bench  *bengen.Benchmark
+	GPHPWL float64 // database units
+	Stats  design.Stats
+}
+
+// Prepare generates a benchmark and runs the global placer on it.
+func Prepare(spec bengen.Spec, seed int64) *Prepared {
+	b := bengen.Generate(spec)
+	st := gp.Place(b.D, b.NL, gp.Config{Seed: spec.Seed + seed})
+	return &Prepared{Bench: b, GPHPWL: st.HPWL, Stats: b.D.CellStats()}
+}
+
+// RunOne legalizes a fresh clone of the prepared benchmark with the given
+// configuration and measures the Table-1 metrics.
+func RunOne(p *Prepared, cfg core.Config) LegalizeResult {
+	d := p.Bench.D.Clone()
+	l, err := core.NewLegalizer(d, cfg)
+	if err != nil {
+		return LegalizeResult{Err: err.Error()}
+	}
+	start := time.Now()
+	lerr := l.Legalize()
+	elapsed := time.Since(start)
+
+	res := LegalizeResult{Runtime: elapsed}
+	if lerr != nil {
+		res.Err = lerr.Error()
+		return res
+	}
+	_, res.AvgDisp = d.TotalDispSites()
+	after := p.Bench.NL.HPWL(d)
+	res.DeltaHPWL = netlist.HPWLDelta(p.GPHPWL, after)
+	res.Legal = verify.Legal(d, verify.Options{
+		RequirePlaced:  true,
+		PowerAlignment: cfg.PowerAlign,
+	})
+	if !res.Legal && res.Err == "" {
+		res.Err = "verification failed"
+	}
+	return res
+}
+
+// coreConfig builds the legalizer configuration for one Table-1 cell.
+func (c *Table1Config) coreConfig(align, useILP bool) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Rx, cfg.Ry = c.Rx, c.Ry
+	cfg.PowerAlign = align
+	cfg.Seed = 1 + c.Seed
+	if useILP {
+		cfg.Solver = &ilplegal.Solver{MaxNodes: c.ILPMaxNodes}
+	}
+	return cfg
+}
+
+// RunTable1 regenerates Table 1 (experiments E1 + E2 of DESIGN.md).
+func RunTable1(cfg Table1Config) []Table1Row {
+	cfg.defaults()
+	specs := bengen.Table1Specs(cfg.Scale)
+	var rows []Table1Row
+	for _, spec := range specs {
+		if len(cfg.Only) > 0 && !contains(cfg.Only, spec.Name) {
+			continue
+		}
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "== %s (%d cells, density %.2f)\n", spec.Name, spec.NumCells, spec.Density)
+		}
+		spec.Seed += cfg.Seed
+		p := Prepare(spec, cfg.Seed)
+		row := Table1Row{
+			Name:    spec.Name,
+			SCells:  p.Stats.SingleRow,
+			DCells:  p.Stats.MultiRow,
+			Density: p.Bench.D.Density(),
+			GPHPWL:  p.GPHPWL * 1e-9, // DBU (nm) → metres
+		}
+		run := func(align, useILP bool) LegalizeResult {
+			r := RunOne(p, cfg.coreConfig(align, useILP))
+			if cfg.Progress != nil {
+				mode := "relaxed"
+				if align {
+					mode = "aligned"
+				}
+				algo := "ours"
+				if useILP {
+					algo = "ilp "
+				}
+				fmt.Fprintf(cfg.Progress, "   %s/%s: disp=%.3f ΔHPWL=%.2f%% t=%s err=%q\n",
+					mode, algo, r.AvgDisp, r.DeltaHPWL*100, r.Runtime.Round(time.Millisecond), r.Err)
+			}
+			return r
+		}
+		row.Aligned.Ours = run(true, false)
+		row.Relaxed.Ours = run(false, false)
+		if !cfg.SkipILP {
+			row.Aligned.ILP = run(true, true)
+			row.Relaxed.ILP = run(false, true)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Averages summarizes a Table-1 column set, mirroring the paper's "Avg."
+// row.
+type Averages struct {
+	Disp      float64
+	DeltaHPWL float64
+	Runtime   time.Duration
+	N         int
+}
+
+func average(rows []Table1Row, pick func(*Table1Row) *LegalizeResult) Averages {
+	var a Averages
+	var rt time.Duration
+	for i := range rows {
+		r := pick(&rows[i])
+		if r.Err != "" && !r.Legal {
+			continue
+		}
+		a.Disp += r.AvgDisp
+		a.DeltaHPWL += r.DeltaHPWL
+		rt += r.Runtime
+		a.N++
+	}
+	if a.N > 0 {
+		a.Disp /= float64(a.N)
+		a.DeltaHPWL /= float64(a.N)
+		a.Runtime = rt / time.Duration(a.N)
+	}
+	return a
+}
+
+// Summary computes the paper's four averaged column groups.
+type Summary struct {
+	AlignedILP, AlignedOurs, RelaxedILP, RelaxedOurs Averages
+}
+
+// Summarize computes the averages over rows.
+func Summarize(rows []Table1Row) Summary {
+	return Summary{
+		AlignedILP:  average(rows, func(r *Table1Row) *LegalizeResult { return &r.Aligned.ILP }),
+		AlignedOurs: average(rows, func(r *Table1Row) *LegalizeResult { return &r.Aligned.Ours }),
+		RelaxedILP:  average(rows, func(r *Table1Row) *LegalizeResult { return &r.Relaxed.ILP }),
+		RelaxedOurs: average(rows, func(r *Table1Row) *LegalizeResult { return &r.Relaxed.Ours }),
+	}
+}
+
+// PrintTable1 renders rows in the layout of the paper's Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row, skipILP bool) {
+	fmt.Fprintf(w, "%-16s %8s %7s %7s %9s | %7s %7s %8s %8s %8s %8s | %7s %7s %8s %8s %8s %8s\n",
+		"Benchmark", "#S.Cell", "#D.Cell", "Density", "GP HPWL(m)",
+		"A.DispI", "A.DispO", "A.ΔWL_I", "A.ΔWL_O", "A.t_I", "A.t_O",
+		"R.DispI", "R.DispO", "R.ΔWL_I", "R.ΔWL_O", "R.t_I", "R.t_O")
+	secs := func(r LegalizeResult) string {
+		if r.Err != "" && !r.Legal {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", r.Runtime.Seconds())
+	}
+	val := func(r LegalizeResult, f float64, pct bool) string {
+		if r.Err != "" && !r.Legal {
+			return "-"
+		}
+		if pct {
+			return fmt.Sprintf("%.2f%%", f*100)
+		}
+		return fmt.Sprintf("%.2f", f)
+	}
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(w, "%-16s %8d %7d %7.2f %9.4f | %7s %7s %8s %8s %8s %8s | %7s %7s %8s %8s %8s %8s\n",
+			r.Name, r.SCells, r.DCells, r.Density, r.GPHPWL,
+			val(r.Aligned.ILP, r.Aligned.ILP.AvgDisp, false),
+			val(r.Aligned.Ours, r.Aligned.Ours.AvgDisp, false),
+			val(r.Aligned.ILP, r.Aligned.ILP.DeltaHPWL, true),
+			val(r.Aligned.Ours, r.Aligned.Ours.DeltaHPWL, true),
+			secs(r.Aligned.ILP), secs(r.Aligned.Ours),
+			val(r.Relaxed.ILP, r.Relaxed.ILP.AvgDisp, false),
+			val(r.Relaxed.Ours, r.Relaxed.Ours.AvgDisp, false),
+			val(r.Relaxed.ILP, r.Relaxed.ILP.DeltaHPWL, true),
+			val(r.Relaxed.Ours, r.Relaxed.Ours.DeltaHPWL, true),
+			secs(r.Relaxed.ILP), secs(r.Relaxed.Ours))
+	}
+	s := Summarize(rows)
+	fmt.Fprintf(w, "%-16s %8s %7s %7s %9s | %7.2f %7.2f %7.2f%% %7.2f%% %8.2f %8.2f | %7.2f %7.2f %7.2f%% %7.2f%% %8.2f %8.2f\n",
+		"Avg.", "", "", "", "",
+		s.AlignedILP.Disp, s.AlignedOurs.Disp,
+		s.AlignedILP.DeltaHPWL*100, s.AlignedOurs.DeltaHPWL*100,
+		s.AlignedILP.Runtime.Seconds(), s.AlignedOurs.Runtime.Seconds(),
+		s.RelaxedILP.Disp, s.RelaxedOurs.Disp,
+		s.RelaxedILP.DeltaHPWL*100, s.RelaxedOurs.DeltaHPWL*100,
+		s.RelaxedILP.Runtime.Seconds(), s.RelaxedOurs.Runtime.Seconds())
+	if !skipILP && s.AlignedOurs.Runtime > 0 {
+		fmt.Fprintf(w, "Runtime ratio ILP/Ours: aligned %.1f×, relaxed %.1f×  (paper: 185×, 186×)\n",
+			s.AlignedILP.Runtime.Seconds()/s.AlignedOurs.Runtime.Seconds(),
+			s.RelaxedILP.Runtime.Seconds()/s.RelaxedOurs.Runtime.Seconds())
+		if s.AlignedOurs.Disp > 0 {
+			fmt.Fprintf(w, "Displacement ratio ILP/Ours: aligned %.2f (paper: 0.87), relaxed %.2f (paper: 0.93)\n",
+				s.AlignedILP.Disp/s.AlignedOurs.Disp,
+				s.RelaxedILP.Disp/s.RelaxedOurs.Disp)
+		}
+	}
+}
+
+// RelaxationSummary is the §6 closing experiment: the improvement from
+// relaxing power-line alignment.
+type RelaxationSummary struct {
+	ILPDispReduction  float64 // paper: 38% lower
+	OursDispReduction float64 // paper: 42% lower
+	ILPWLImprovement  float64 // paper: 45% better
+	OursWLImprovement float64 // paper: 58% better
+}
+
+// Relaxation derives the §6 relaxation comparison from Table-1 rows.
+func Relaxation(rows []Table1Row) RelaxationSummary {
+	s := Summarize(rows)
+	out := RelaxationSummary{}
+	if s.AlignedILP.Disp > 0 {
+		out.ILPDispReduction = 1 - s.RelaxedILP.Disp/s.AlignedILP.Disp
+	}
+	if s.AlignedOurs.Disp > 0 {
+		out.OursDispReduction = 1 - s.RelaxedOurs.Disp/s.AlignedOurs.Disp
+	}
+	if s.AlignedILP.DeltaHPWL > 0 {
+		out.ILPWLImprovement = 1 - s.RelaxedILP.DeltaHPWL/s.AlignedILP.DeltaHPWL
+	}
+	if s.AlignedOurs.DeltaHPWL > 0 {
+		out.OursWLImprovement = 1 - s.RelaxedOurs.DeltaHPWL/s.AlignedOurs.DeltaHPWL
+	}
+	return out
+}
+
+// PrintRelaxation renders the §6 relaxation experiment.
+func PrintRelaxation(w io.Writer, rs RelaxationSummary, withILP bool) {
+	fmt.Fprintf(w, "Relaxing power-line alignment (paper §6 closing paragraph):\n")
+	if withILP {
+		fmt.Fprintf(w, "  ILP : displacement %.0f%% lower (paper 38%%), ΔHPWL %.0f%% better (paper 45%%)\n",
+			rs.ILPDispReduction*100, rs.ILPWLImprovement*100)
+	}
+	fmt.Fprintf(w, "  Ours: displacement %.0f%% lower (paper 42%%), ΔHPWL %.0f%% better (paper 58%%)\n",
+		rs.OursDispReduction*100, rs.OursWLImprovement*100)
+}

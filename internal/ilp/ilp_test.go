@@ -1,0 +1,416 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveAndCheck(t *testing.T, p *Problem, wantStatus Status, wantObj float64) Solution {
+	t.Helper()
+	s := p.Solve()
+	if s.Status != wantStatus {
+		t.Fatalf("status = %v, want %v (sol %+v)", s.Status, wantStatus, s)
+	}
+	if wantStatus == Optimal && math.Abs(s.Obj-wantObj) > 1e-6 {
+		t.Fatalf("obj = %v, want %v (x=%v)", s.Obj, wantObj, s.X)
+	}
+	return s
+}
+
+func TestLPSimple2D(t *testing.T) {
+	// min -x - y s.t. x + y <= 4, x <= 3, y <= 2 → x=3,y=1 obj=-4? No:
+	// best is x=3, y=1 (sum 4) or x=2,y=2 → both obj -4.
+	p := NewProblem(2)
+	p.SetObjCoef(0, -1)
+	p.SetObjCoef(1, -1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.SetBounds(0, 0, 3)
+	p.SetBounds(1, 0, 2)
+	solveAndCheck(t, p, Optimal, -4)
+}
+
+func TestLPEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x >= 1 → x=3,y=0 obj 3.
+	p := NewProblem(2)
+	p.SetObjCoef(0, 1)
+	p.SetObjCoef(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	solveAndCheck(t, p, Optimal, 3)
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjCoef(0, -1) // min -x, x >= 0 unbounded above
+	s := p.Solve()
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestLPNegativeLowerBounds(t *testing.T) {
+	// min x s.t. x >= -5 (finite negative lb) → -5.
+	p := NewProblem(1)
+	p.SetObjCoef(0, 1)
+	p.SetBounds(0, -5, math.Inf(1))
+	solveAndCheck(t, p, Optimal, -5)
+}
+
+func TestLPDegenerateNoCycle(t *testing.T) {
+	// Classic Beale cycling example; Bland's rule must terminate.
+	p := NewProblem(4)
+	coefs := []float64{-0.75, 150, -0.02, 6}
+	for i, c := range coefs {
+		p.SetObjCoef(i, c)
+	}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	solveAndCheck(t, p, Optimal, -0.05)
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 10a+13b+7c s.t. 3a+4b+2c <= 6, binaries → min form.
+	// Best: a+c? 3+2=5 → 17. b+c: 6 → 20. So obj -20.
+	p := NewProblem(3)
+	vals := []float64{10, 13, 7}
+	wts := []float64{3, 4, 2}
+	var terms []Term
+	for i := 0; i < 3; i++ {
+		p.SetObjCoef(i, -vals[i])
+		p.SetBounds(i, 0, 1)
+		p.SetInteger(i)
+		terms = append(terms, Term{i, wts[i]})
+	}
+	p.AddConstraint(terms, LE, 6)
+	s := solveAndCheck(t, p, Optimal, -20)
+	if math.Round(s.X[1]) != 1 || math.Round(s.X[2]) != 1 || math.Round(s.X[0]) != 0 {
+		t.Fatalf("x = %v, want b and c chosen", s.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// min -x s.t. x <= 3.7, x integer → 3.
+	p := NewProblem(1)
+	p.SetObjCoef(0, -1)
+	p.SetBounds(0, 0, 3.7)
+	p.SetInteger(0)
+	s := solveAndCheck(t, p, Optimal, -3)
+	if s.X[0] != 3 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestMILPInfeasibleIntegrality(t *testing.T) {
+	// 2x = 3 with x integer is infeasible though the LP is fine.
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 2}}, EQ, 3)
+	p.SetInteger(0)
+	s := p.Solve()
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestMILPBigMDisjunction(t *testing.T) {
+	// Either x <= 2 or x >= 8, choose nearest to 6: expect x = 8 with
+	// cost |x-6| = 2... and x=2 gives 4. Model: binary o; x - 6 = p - n.
+	// x <= 2 + M o ; x >= 8 - M(1-o).
+	const M = 100
+	p := NewProblem(4) // x, p, n, o
+	p.SetBounds(0, 0, 20)
+	p.SetObjCoef(1, 1)
+	p.SetObjCoef(2, 1)
+	p.SetBounds(3, 0, 1)
+	p.SetInteger(3)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}, {2, 1}}, EQ, 6)
+	p.AddConstraint([]Term{{0, 1}, {3, -M}}, LE, 2)
+	p.AddConstraint([]Term{{0, 1}, {3, -M}}, GE, 8-M)
+	s := solveAndCheck(t, p, Optimal, 2)
+	if math.Abs(s.X[0]-8) > 1e-6 {
+		t.Fatalf("x = %v, want 8", s.X[0])
+	}
+}
+
+// TestMILPRandomAgainstBruteForce compares small random binary programs
+// against exhaustive enumeration.
+func TestMILPRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		nb := 2 + rng.Intn(5) // binaries
+		p := NewProblem(nb)
+		obj := make([]float64, nb)
+		for i := range obj {
+			obj[i] = float64(rng.Intn(21) - 10)
+			p.SetObjCoef(i, obj[i])
+			p.SetBounds(i, 0, 1)
+			p.SetInteger(i)
+		}
+		type lin struct {
+			a   []float64
+			op  Op
+			rhs float64
+		}
+		var cons []lin
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			a := make([]float64, nb)
+			var terms []Term
+			for i := range a {
+				a[i] = float64(rng.Intn(11) - 5)
+				terms = append(terms, Term{i, a[i]})
+			}
+			op := []Op{LE, GE}[rng.Intn(2)]
+			rhs := float64(rng.Intn(11) - 5)
+			cons = append(cons, lin{a, op, rhs})
+			p.AddConstraint(terms, op, rhs)
+		}
+		// Brute force.
+		bestObj := math.Inf(1)
+		for mask := 0; mask < 1<<nb; mask++ {
+			ok := true
+			for _, c := range cons {
+				s := 0.0
+				for i := 0; i < nb; i++ {
+					if mask&(1<<i) != 0 {
+						s += c.a[i]
+					}
+				}
+				if (c.op == LE && s > c.rhs+1e-9) || (c.op == GE && s < c.rhs-1e-9) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			v := 0.0
+			for i := 0; i < nb; i++ {
+				if mask&(1<<i) != 0 {
+					v += obj[i]
+				}
+			}
+			if v < bestObj {
+				bestObj = v
+			}
+		}
+		s := p.Solve()
+		if math.IsInf(bestObj, 1) {
+			if s.Status != Infeasible {
+				t.Fatalf("trial %d: solver says %v, brute force says infeasible", trial, s.Status)
+			}
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v, want optimal (brute=%v)", trial, s.Status, bestObj)
+		}
+		if math.Abs(s.Obj-bestObj) > 1e-6 {
+			t.Fatalf("trial %d: obj %v, brute force %v", trial, s.Obj, bestObj)
+		}
+	}
+}
+
+// TestLPRandomAgainstVertexEnum checks random 2-variable LPs against
+// brute-force evaluation over a fine grid (sanity property).
+func TestLPRandomFeasibilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		p := NewProblem(2)
+		c0, c1 := float64(rng.Intn(9)-4), float64(rng.Intn(9)-4)
+		p.SetObjCoef(0, c0)
+		p.SetObjCoef(1, c1)
+		p.SetBounds(0, 0, 10)
+		p.SetBounds(1, 0, 10)
+		type lin struct {
+			a0, a1, rhs float64
+			op          Op
+		}
+		var cons []lin
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			l := lin{float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3), float64(rng.Intn(15) - 3), []Op{LE, GE}[rng.Intn(2)]}
+			cons = append(cons, l)
+			p.AddConstraint([]Term{{0, l.a0}, {1, l.a1}}, l.op, l.rhs)
+		}
+		s := p.Solve()
+		// Grid search at 0.5 steps.
+		best := math.Inf(1)
+		for i := 0; i <= 20; i++ {
+			for j := 0; j <= 20; j++ {
+				x, y := float64(i)/2, float64(j)/2
+				ok := true
+				for _, l := range cons {
+					v := l.a0*x + l.a1*y
+					if (l.op == LE && v > l.rhs+1e-9) || (l.op == GE && v < l.rhs-1e-9) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c0*x + c1*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Grid found nothing; solver may still find a sliver — only
+			// check the converse.
+			continue
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: solver %v but grid found feasible point", trial, s.Status)
+		}
+		if s.Obj > best+1e-6 {
+			t.Fatalf("trial %d: solver obj %v worse than grid %v", trial, s.Obj, best)
+		}
+		// Verify solver solution feasibility.
+		for _, l := range cons {
+			v := l.a0*s.X[0] + l.a1*s.X[1]
+			if (l.op == LE && v > l.rhs+1e-6) || (l.op == GE && v < l.rhs-1e-6) {
+				t.Fatalf("trial %d: solver solution violates constraint", trial)
+			}
+		}
+	}
+}
+
+func TestNodeLimitReportsFeasible(t *testing.T) {
+	// A knapsack-ish MILP with a tiny node budget should come back
+	// Feasible (incumbent) or Infeasible, never pretend optimality...
+	// With MaxNodes=1 and fractional relaxation, no incumbent exists.
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjCoef(i, -1)
+		p.SetBounds(i, 0, 1)
+		p.SetInteger(i)
+	}
+	p.AddConstraint([]Term{{0, 2}, {1, 2}, {2, 2}}, LE, 3)
+	p.MaxNodes = 1
+	s := p.Solve()
+	if s.Status == Optimal {
+		t.Fatalf("status = optimal with MaxNodes=1, suspicious (nodes=%d)", s.Nodes)
+	}
+}
+
+// TestDantzigMatchesBlandObjective cross-checks the default Dantzig
+// pricing against forced-Bland runs (tiny MaxIter stall thresholds are
+// internal, so emulate by comparing against the brute-force optimum on
+// random bounded LPs instead): both pricings must reach the same optimal
+// objective on LPs whose optimum we can grid-verify.
+func TestRandomBoundedLPSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(3)
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.SetObjCoef(i, float64(rng.Intn(11)-5))
+			p.SetBounds(i, 0, float64(1+rng.Intn(6)))
+		}
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			var terms []Term
+			for i := 0; i < n; i++ {
+				terms = append(terms, Term{i, float64(rng.Intn(7) - 3)})
+			}
+			p.AddConstraint(terms, []Op{LE, GE}[rng.Intn(2)], float64(rng.Intn(13)-4))
+		}
+		s := p.SolveRelaxation()
+		if s.Status == Unbounded {
+			t.Fatalf("trial %d: bounded boxes cannot be unbounded", trial)
+		}
+		if s.Status != Optimal {
+			continue // infeasible is fine
+		}
+		// Verify feasibility of the reported point and that no grid point
+		// (step 0.5) beats it.
+		feasible := func(x []float64) bool {
+			for i := 0; i < n; i++ {
+				if x[i] < -1e-7 {
+					return false
+				}
+			}
+			for _, c := range p.cons {
+				v := 0.0
+				for _, tm := range c.terms {
+					v += tm.Coef * x[tm.Var]
+				}
+				if (c.op == LE && v > c.rhs+1e-6) || (c.op == GE && v < c.rhs-1e-6) ||
+					(c.op == EQ && math.Abs(v-c.rhs) > 1e-6) {
+					return false
+				}
+			}
+			return true
+		}
+		if !feasible(s.X) {
+			t.Fatalf("trial %d: reported solution infeasible: %v", trial, s.X)
+		}
+		obj := func(x []float64) float64 {
+			v := 0.0
+			for i := 0; i < n; i++ {
+				v += p.obj[i] * x[i]
+			}
+			return v
+		}
+		var best float64 = math.Inf(1)
+		var rec func(i int, x []float64)
+		rec = func(i int, x []float64) {
+			if i == n {
+				if feasible(x) {
+					if v := obj(x); v < best {
+						best = v
+					}
+				}
+				return
+			}
+			for v := 0.0; v <= p.ub[i]+1e-9; v += 0.5 {
+				x[i] = v
+				rec(i+1, x)
+			}
+		}
+		rec(0, make([]float64, n))
+		if !math.IsInf(best, 1) && s.Obj > best+1e-6 {
+			t.Fatalf("trial %d: simplex obj %v worse than grid %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func TestAddConstraintValidation(t *testing.T) {
+	p := NewProblem(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range variable")
+		}
+	}()
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+}
+
+func TestSetBoundsValidation(t *testing.T) {
+	p := NewProblem(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	p.SetBounds(0, 3, 1)
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	for s, want := range map[Status]string{Optimal: "optimal", Feasible: "feasible", Infeasible: "infeasible", Unbounded: "unbounded"} {
+		if s.String() != want {
+			t.Fatalf("%v", s)
+		}
+	}
+	for o, want := range map[Op]string{LE: "<=", GE: ">=", EQ: "="} {
+		if o.String() != want {
+			t.Fatalf("%v", o)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveLP solves the LP relaxation of p under the given variable bounds
+// with a dense two-phase primal simplex. Lower bounds must be finite.
+func (p *Problem) solveLP(lb, ub []float64) (Solution, Status) {
+	n := p.n
+	for i := 0; i < n; i++ {
+		if math.IsInf(lb[i], -1) {
+			panic(fmt.Sprintf("ilp: variable %d has -inf lower bound (unsupported)", i))
+		}
+		if lb[i] > ub[i] {
+			return Solution{}, Infeasible
+		}
+	}
+
+	// Shift variables to x' = x − lb ≥ 0 and collect rows.
+	type row struct {
+		a   []float64
+		op  Op
+		rhs float64
+	}
+	var rows []row
+	addRow := func(a []float64, op Op, rhs float64) {
+		if rhs < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows = append(rows, row{a: a, op: op, rhs: rhs})
+	}
+	for _, c := range p.cons {
+		a := make([]float64, n)
+		rhs := c.rhs
+		for _, t := range c.terms {
+			a[t.Var] += t.Coef
+			rhs -= t.Coef * lb[t.Var]
+		}
+		addRow(a, c.op, rhs)
+	}
+	// Upper bounds as rows: x'_i ≤ ub_i − lb_i.
+	for i := 0; i < n; i++ {
+		if math.IsInf(ub[i], 1) {
+			continue
+		}
+		a := make([]float64, n)
+		a[i] = 1
+		addRow(a, LE, ub[i]-lb[i])
+	}
+
+	m := len(rows)
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+		if r.op != LE {
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt + 1 // +1 for rhs
+	rhsCol := cols - 1
+
+	// Tableau rows 0..m-1 are constraints; basis[i] is the basic variable
+	// of row i.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	isArt := make([]bool, cols-1)
+	sIdx, aIdx := n, n+nSlack
+	for i, r := range rows {
+		t[i] = make([]float64, cols)
+		copy(t[i], r.a)
+		t[i][rhsCol] = r.rhs
+		switch r.op {
+		case LE:
+			t[i][sIdx] = 1
+			basis[i] = sIdx
+			sIdx++
+		case GE:
+			t[i][sIdx] = -1
+			sIdx++
+			t[i][aIdx] = 1
+			isArt[aIdx] = true
+			basis[i] = aIdx
+			aIdx++
+		case EQ:
+			t[i][aIdx] = 1
+			isArt[aIdx] = true
+			basis[i] = aIdx
+			aIdx++
+		}
+	}
+
+	maxIter := p.MaxIter
+	if maxIter == 0 {
+		maxIter = 2000 + 60*(m+cols)
+	}
+
+	// obj is the reduced-cost row: obj[j] holds c_j − z_j; the incumbent
+	// objective value (negated) is obj[rhsCol].
+	obj := make([]float64, cols)
+
+	pivot := func(pr, pc int) {
+		pv := t[pr][pc]
+		inv := 1 / pv
+		for j := 0; j < cols; j++ {
+			t[pr][j] *= inv
+		}
+		t[pr][pc] = 1 // fight rounding
+		for i := 0; i < m; i++ {
+			if i == pr {
+				continue
+			}
+			f := t[i][pc]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				t[i][j] -= f * t[pr][j]
+			}
+			t[i][pc] = 0
+		}
+		if f := obj[pc]; f != 0 {
+			for j := 0; j < cols; j++ {
+				obj[j] -= f * t[pr][j]
+			}
+			obj[pc] = 0
+		}
+		basis[pr] = pc
+	}
+
+	// iterate runs simplex on the current obj row. banned columns never
+	// enter. Returns Optimal or Unbounded (or Infeasible on iteration
+	// overrun, treated as a solver failure).
+	//
+	// Pricing: Dantzig's rule (most negative reduced cost) for speed,
+	// falling back to Bland's rule once the objective stalls, which
+	// guarantees termination on degenerate vertices.
+	iterate := func(banned func(j int) bool) Status {
+		stall := 0
+		lastObj := math.Inf(1)
+		for iter := 0; iter < maxIter; iter++ {
+			bland := stall > 2*(m+4)
+			pc := -1
+			best := -feasTol
+			for j := 0; j < cols-1; j++ {
+				if banned != nil && banned(j) {
+					continue
+				}
+				if obj[j] < best {
+					pc = j
+					if bland {
+						break
+					}
+					best = obj[j]
+				}
+			}
+			if pc < 0 {
+				return Optimal
+			}
+			pr := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][pc] > feasTol {
+					ratio := t[i][rhsCol] / t[i][pc]
+					if ratio < bestRatio-1e-12 ||
+						(ratio < bestRatio+1e-12 && (pr < 0 || basis[i] < basis[pr])) {
+						bestRatio = ratio
+						pr = i
+					}
+				}
+			}
+			if pr < 0 {
+				return Unbounded
+			}
+			pivot(pr, pc)
+			if cur := -obj[rhsCol]; cur < lastObj-1e-12 {
+				lastObj = cur
+				stall = 0
+			} else {
+				stall++
+			}
+		}
+		return Infeasible // iteration limit: treat as numerical failure
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		for j := range isArt {
+			if isArt[j] {
+				obj[j] = 1
+			}
+		}
+		// Price out the basic artificials.
+		for i := 0; i < m; i++ {
+			if isArt[basis[i]] {
+				for j := 0; j < cols; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		if st := iterate(nil); st != Optimal {
+			return Solution{}, Infeasible
+		}
+		if -obj[rhsCol] > 1e-6 {
+			return Solution{}, Infeasible
+		}
+		// Drive remaining artificials out of the basis when possible.
+		for i := 0; i < m; i++ {
+			if !isArt[basis[i]] {
+				continue
+			}
+			done := false
+			for j := 0; j < n+nSlack && !done; j++ {
+				if math.Abs(t[i][j]) > 1e-8 {
+					pivot(i, j)
+					done = true
+				}
+			}
+			// A fully zero row is redundant; the artificial stays basic
+			// at value 0, which is harmless as long as it cannot grow:
+			// ban artificials from entering in phase 2 (they never leave
+			// zero because their rows are zero over real columns).
+		}
+	}
+
+	// Phase 2: real objective over the shifted variables.
+	for j := range obj {
+		obj[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		obj[i] = p.obj[i]
+	}
+	for i := 0; i < m; i++ {
+		b := basis[i]
+		if b < cols-1 && obj[b] != 0 {
+			f := obj[b]
+			for j := 0; j < cols; j++ {
+				obj[j] -= f * t[i][j]
+			}
+			obj[b] = 0
+		}
+	}
+	switch st := iterate(func(j int) bool { return isArt[j] }); st {
+	case Unbounded:
+		return Solution{}, Unbounded
+	case Infeasible:
+		return Solution{}, Infeasible
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][rhsCol]
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] += lb[i]
+	}
+	val := 0.0
+	for i := 0; i < n; i++ {
+		val += p.obj[i] * x[i]
+	}
+	return Solution{X: x, Obj: val}, Optimal
+}

@@ -1,0 +1,129 @@
+package iodesign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/netlist"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	d := dtest.Flat(4, 50)
+	d.Blockages = append(d.Blockages, geom.Rect{X: 5, Y: 1, W: 3, H: 2})
+	a := dtest.Placed(d, 4, 1, 10, 0)
+	b := dtest.Unplaced(d, 4, 2, 20.5, 1.25)
+	fx := dtest.Placed(d, 6, 1, 30, 3)
+	d.Cell(fx).Fixed = true
+	nl := netlist.New()
+	nl.AddNet("n0",
+		netlist.Pin{Cell: a, DX: 2, DY: 0.5},
+		netlist.Pin{Cell: b, DX: 1, DY: 1},
+		netlist.Pin{Cell: design.NoCell, DX: 44, DY: 3},
+	)
+	nl.BuildIndex(len(d.Cells))
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d, nl); err != nil {
+		t.Fatal(err)
+	}
+	d2, nl2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != d.Name || d2.SiteW != d.SiteW || d2.SiteH != d.SiteH {
+		t.Fatal("header mismatch")
+	}
+	if len(d2.Rows) != len(d.Rows) || len(d2.Blockages) != 1 || len(d2.Lib) != len(d.Lib) {
+		t.Fatalf("structure mismatch: %d rows %d blockages %d masters",
+			len(d2.Rows), len(d2.Blockages), len(d2.Lib))
+	}
+	if len(d2.Cells) != len(d.Cells) {
+		t.Fatal("cell count mismatch")
+	}
+	for i := range d.Cells {
+		c1, c2 := &d.Cells[i], &d2.Cells[i]
+		if c1.W != c2.W || c1.H != c2.H || c1.GX != c2.GX || c1.GY != c2.GY ||
+			c1.Placed != c2.Placed || c1.Fixed != c2.Fixed {
+			t.Fatalf("cell %d mismatch: %+v vs %+v", i, c1, c2)
+		}
+		if c1.Placed && (c1.X != c2.X || c1.Y != c2.Y) {
+			t.Fatalf("cell %d position mismatch", i)
+		}
+	}
+	if len(nl2.Nets) != 1 || len(nl2.Nets[0].Pins) != 3 {
+		t.Fatal("net mismatch")
+	}
+	if nl2.Nets[0].Pins[2].Cell != design.NoCell {
+		t.Fatal("pad pin lost")
+	}
+	if got, want := nl2.HPWL(d2), nl.HPWL(d); got != want {
+		t.Fatalf("HPWL after roundtrip %v != %v", got, want)
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	b := bengen.Generate(bengen.Spec{Name: "rt", NumCells: 300, Density: 0.5, Seed: 21})
+	var buf bytes.Buffer
+	if err := Write(&buf, b.D, b.NL); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	d2, nl2, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Cells) != len(b.D.Cells) || len(nl2.Nets) != len(b.NL.Nets) {
+		t.Fatal("sizes mismatch")
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, d2, nl2); err != nil {
+		t.Fatal(err)
+	}
+	if first != buf2.String() {
+		t.Fatal("write → read → write is not a fixpoint")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"row 0 0 10",                          // before design
+		"design d 200 2000\nrow 0 0",          // short row
+		"design d 200 2000\nmaster m 2 1 ABC", // bad rail
+		"design d 200 2000\ncell c 0 1 2",     // master out of range
+		"design d 200 2000\nfrobnicate",       // unknown directive
+		"design d 0 2000",                     // bad site
+		"design d 200 2000\nnet n 0 1",        // pins not in triples
+		"design d 200 2000\nnet n 5 0.0 0.0",  // pin cell out of range
+		"",                                    // no header
+		"design d 200 2000\nmaster m 2 1 VSS\ncell c 0 1 2 @ 1", // short placement
+	}
+	for i, c := range cases {
+		if _, _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, c)
+		}
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+design d 200 2000
+
+row 0 0 10
+# another
+master m 2 1 VSS
+cell c 0 1.5 0.25
+`
+	d, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 1 || len(d.Cells) != 1 || d.Cells[0].GX != 1.5 {
+		t.Fatalf("parse result wrong: %+v", d)
+	}
+}

@@ -1,0 +1,134 @@
+// Package render draws a design as an SVG image: rows, blockages, and
+// cells colored by row height, with optional displacement vectors from the
+// input (global placement) positions. It is the debugging companion every
+// placement project grows — legalization bugs are obvious at a glance in a
+// picture and invisible in a table of coordinates.
+package render
+
+import (
+	"fmt"
+	"io"
+
+	"mrlegal/internal/design"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Scale is the pixel width of one site (default 4).
+	Scale float64
+	// ShowDisplacement draws a line from each cell's input position to
+	// its placed position.
+	ShowDisplacement bool
+	// ShowNames labels each cell (readable only for small designs).
+	ShowNames bool
+}
+
+// heightColor maps cell row-height to a fill color; taller cells stand
+// out progressively.
+func heightColor(h int, fixed bool) string {
+	if fixed {
+		return "#9e9e9e"
+	}
+	switch h {
+	case 1:
+		return "#90caf9"
+	case 2:
+		return "#ffcc80"
+	case 3:
+		return "#a5d6a7"
+	default:
+		return "#ef9a9a"
+	}
+}
+
+// SVG writes the design as a standalone SVG document.
+func SVG(w io.Writer, d *design.Design, opt Options) error {
+	if opt.Scale == 0 {
+		opt.Scale = 4
+	}
+	bb := d.Bounds()
+	if bb.Empty() {
+		return fmt.Errorf("render: design has no rows")
+	}
+	// One row is SiteH/SiteW sites tall physically; keep the aspect.
+	aspect := float64(d.SiteH) / float64(d.SiteW)
+	sx := opt.Scale
+	sy := opt.Scale * aspect
+	width := float64(bb.W) * sx
+	height := float64(bb.H) * sy
+	// SVG y grows downward; flip so row 0 is at the bottom.
+	fy := func(y float64, hRows float64) float64 {
+		return height - (y-float64(bb.Y)+hRows)*sy
+	}
+	fx := func(x float64) float64 { return (x - float64(bb.X)) * sx }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="%.0f" height="%.0f" fill="#fafafa"/>`+"\n", width, height)
+
+	// Rows.
+	for i := range d.Rows {
+		r := &d.Rows[i]
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#ffffff" stroke="#e0e0e0" stroke-width="0.5"/>`+"\n",
+			fx(float64(r.Span.Lo)), fy(float64(r.Y), 1), float64(r.Span.Len())*sx, sy)
+	}
+	// Blockages.
+	for _, b := range d.Blockages {
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#616161" fill-opacity="0.55"/>`+"\n",
+			fx(float64(b.X)), fy(float64(b.Y), float64(b.H)), float64(b.W)*sx, float64(b.H)*sy)
+	}
+	// Cells.
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if !c.Placed {
+			continue
+		}
+		fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#37474f" stroke-width="0.4"/>`+"\n",
+			fx(float64(c.X)), fy(float64(c.Y), float64(c.H)),
+			float64(c.W)*sx, float64(c.H)*sy, heightColor(c.H, c.Fixed))
+		if opt.ShowNames && c.Name != "" {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="#263238">%s</text>`+"\n",
+				fx(float64(c.X))+1, fy(float64(c.Y), float64(c.H)/2), sy*0.4, xmlEscape(c.Name))
+		}
+	}
+	// Displacement vectors.
+	if opt.ShowDisplacement {
+		for i := range d.Cells {
+			c := &d.Cells[i]
+			if !c.Placed || c.Fixed {
+				continue
+			}
+			x0 := fx(c.GX + float64(c.W)/2)
+			y0 := fy(c.GY+float64(c.H)/2, 0)
+			x1 := fx(float64(c.X) + float64(c.W)/2)
+			y1 := fy(float64(c.Y)+float64(c.H)/2, 0)
+			if x0 == x1 && y0 == y1 {
+				continue
+			}
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d32f2f" stroke-width="0.6" stroke-opacity="0.7"/>`+"\n",
+				x0, y0, x1, y1)
+		}
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

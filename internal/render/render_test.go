@@ -1,0 +1,71 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/geom"
+)
+
+func TestSVGBasics(t *testing.T) {
+	d := dtest.Flat(4, 50)
+	dtest.Placed(d, 5, 1, 10, 0)
+	dtest.Placed(d, 4, 2, 20, 1)
+	fx := dtest.Placed(d, 6, 1, 30, 3)
+	d.Cell(fx).Fixed = true
+	d.Blockages = append(d.Blockages, geom.Rect{X: 0, Y: 2, W: 5, H: 1})
+	dtest.Unplaced(d, 3, 1, 40, 0) // must not be drawn
+
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	// 4 rows + 3 cells + 1 blockage + background = 9 rects.
+	if got := strings.Count(out, "<rect"); got != 9 {
+		t.Fatalf("rect count = %d, want 9", got)
+	}
+	if !strings.Contains(out, "#ffcc80") {
+		t.Fatal("double-height color missing")
+	}
+	if !strings.Contains(out, "#9e9e9e") {
+		t.Fatal("fixed-cell color missing")
+	}
+}
+
+func TestSVGDisplacementAndNames(t *testing.T) {
+	d := dtest.Flat(2, 30)
+	id := dtest.Unplaced(d, 4, 1, 5, 0)
+	d.Place(id, 10, 1) // displaced from input
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, Options{ShowDisplacement: true, ShowNames: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "<line") {
+		t.Fatal("displacement vector missing")
+	}
+	if !strings.Contains(out, "<text") {
+		t.Fatal("cell name missing")
+	}
+}
+
+func TestSVGEmptyDesignFails(t *testing.T) {
+	d := dtest.Flat(1, 10)
+	d.Rows = nil
+	var buf bytes.Buffer
+	if err := SVG(&buf, d, Options{}); err == nil {
+		t.Fatal("expected error for rowless design")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Fatalf("escape = %q", got)
+	}
+}

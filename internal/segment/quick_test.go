@@ -1,0 +1,123 @@
+package segment_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/segment"
+)
+
+// Property: for arbitrary blockage sets, the segment decomposition of a
+// row exactly matches a brute-force free-site bitmap: segments cover all
+// free sites, cover no blocked site, and are maximal (separated by at
+// least one blocked site).
+func TestBuildMatchesBitmapQuick(t *testing.T) {
+	type blk struct{ X, Y, W, H uint8 }
+	f := func(blocks []blk) bool {
+		const rows, width = 4, 64
+		d := dtest.Flat(rows, width)
+		for _, b := range blocks {
+			d.Blockages = append(d.Blockages, geom.Rect{
+				X: int(b.X%80) - 8, // may stick out of the die
+				Y: int(b.Y%6) - 1,
+				W: int(b.W%20) + 1,
+				H: int(b.H%3) + 1,
+			})
+		}
+		g := segment.Build(d)
+		for y := 0; y < rows; y++ {
+			blocked := make([]bool, width)
+			for _, b := range d.Blockages {
+				if y < b.Y || y >= b.Y2() {
+					continue
+				}
+				for x := max(0, b.X); x < min(width, b.X2()); x++ {
+					blocked[x] = true
+				}
+			}
+			covered := make([]bool, width)
+			prevHi := -1
+			for _, s := range g.RowSegments(y) {
+				if s.Span.Lo <= prevHi {
+					return false // overlapping or unordered segments
+				}
+				if s.Span.Lo == prevHi {
+					return false // not maximal
+				}
+				prevHi = s.Span.Hi
+				for x := s.Span.Lo; x < s.Span.Hi; x++ {
+					if x < 0 || x >= width || blocked[x] || covered[x] {
+						return false
+					}
+					covered[x] = true
+				}
+			}
+			for x := 0; x < width; x++ {
+				if !blocked[x] && !covered[x] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FreeAt agrees with a brute-force occupancy check for random
+// placements.
+func TestFreeAtMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64, qx, qy, qw, qh uint8) bool {
+		const rows, width = 5, 40
+		d := dtest.Flat(rows, width)
+		g := segment.Build(d)
+		// Deterministic pseudo-random placement from the seed.
+		s := uint64(seed)
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int(s>>33) % n
+		}
+		occupied := make([][]bool, rows)
+		for y := range occupied {
+			occupied[y] = make([]bool, width)
+		}
+		for i := 0; i < 12; i++ {
+			w := 1 + next(5)
+			h := 1 + next(2)
+			x := next(width - w + 1)
+			y := next(rows - h + 1)
+			if !g.FreeAt(x, y, w, h) {
+				continue
+			}
+			id := dtest.Placed(d, w, h, x, y)
+			if err := g.Insert(id); err != nil {
+				return false
+			}
+			for yy := y; yy < y+h; yy++ {
+				for xx := x; xx < x+w; xx++ {
+					occupied[yy][xx] = true
+				}
+			}
+		}
+		// Query a random rectangle.
+		w := 1 + int(qw%6)
+		h := 1 + int(qh%3)
+		x := int(qx%45) - 2
+		y := int(qy%7) - 1
+		want := true
+		for yy := y; yy < y+h; yy++ {
+			for xx := x; xx < x+w; xx++ {
+				if yy < 0 || yy >= rows || xx < 0 || xx >= width || occupied[yy][xx] {
+					want = false
+				}
+			}
+		}
+		return g.FreeAt(x, y, w, h) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package tetris is a greedy legalizer in the spirit of Hill's patent
+// [US6370673], the technique the paper cites as the mixed-size fallback
+// ([5, 6] "include an extension of a greedy legalization [7]"): cells are
+// processed in a fixed order and each is pinned to the nearest free
+// position; previously placed cells never move. The paper criticizes
+// exactly this property ("the placed objects are not allowed to move for
+// accommodating other unplaced objects, which could result in high
+// displacement when the design density is high") — this package exists as
+// that related-work baseline (experiment E6) and as the multi-row
+// pre-pass of the Abacus baseline.
+package tetris
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/segment"
+)
+
+// Config tunes the greedy legalizer.
+type Config struct {
+	// PowerAlign enforces rail parity for even-height cells.
+	PowerAlign bool
+}
+
+// Legalize places every movable cell of d greedily at the nearest free
+// position to its input position. Already placed movable cells are reset.
+func Legalize(d *design.Design, cfg Config) error {
+	var ids []design.CellID
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		c.Placed = false
+		ids = append(ids, c.ID)
+	}
+	return LegalizeCells(d, ids, cfg)
+}
+
+// LegalizeCells greedily places the given (unplaced) cells in ascending
+// input-x order, never moving other cells. Cells already placed in d act
+// as obstacles.
+func LegalizeCells(d *design.Design, ids []design.CellID, cfg Config) error {
+	g := segment.Build(d)
+	if err := g.RebuildOccupancy(); err != nil {
+		return err
+	}
+	order := append([]design.CellID(nil), ids...)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := d.Cell(order[i]), d.Cell(order[j])
+		if a.GX != b.GX {
+			return a.GX < b.GX
+		}
+		return a.ID < b.ID
+	})
+	yScale := float64(d.SiteH) / float64(d.SiteW)
+	for _, id := range order {
+		c := d.Cell(id)
+		if c.Placed {
+			return fmt.Errorf("tetris: cell %d already placed", id)
+		}
+		m := d.MasterOf(id)
+		want := geom.Clamp(int(math.Round(c.GY)), 0, max(0, d.NumRows()-c.H))
+		bestCost := math.Inf(1)
+		bestX, bestY := 0, 0
+		maxOff := d.NumRows()
+		for off := 0; off <= maxOff; off++ {
+			if float64(off-1)*yScale > bestCost {
+				break // no farther row can beat the incumbent
+			}
+			cand := []int{want}
+			if off > 0 {
+				cand = []int{want - off, want + off}
+			}
+			for _, row := range cand {
+				if row < 0 || row > d.NumRows()-c.H {
+					continue
+				}
+				if cfg.PowerAlign && !d.RailCompatible(m, row) {
+					continue
+				}
+				x, ok := nearestFreeX(d, g, row, c.H, c.W, c.GX)
+				if !ok {
+					continue
+				}
+				cost := math.Abs(float64(x)-c.GX) + math.Abs(float64(row)-c.GY)*yScale
+				if cost < bestCost {
+					bestCost = cost
+					bestX, bestY = x, row
+				}
+			}
+		}
+		if math.IsInf(bestCost, 1) {
+			return fmt.Errorf("tetris: no free position for cell %d (%s, %dx%d)", id, c.Name, c.W, c.H)
+		}
+		d.Place(id, bestX, bestY)
+		if err := g.Insert(id); err != nil {
+			return fmt.Errorf("tetris: %w", err)
+		}
+	}
+	return nil
+}
+
+// nearestFreeX finds the free x position nearest gx where a w×h cell fits
+// with its bottom on the given row.
+func nearestFreeX(d *design.Design, g *segment.Grid, row, h, w int, gx float64) (int, bool) {
+	// Free intervals of the bottom row, intersected downward through the
+	// stack of rows.
+	free := freeIntervals(d, g, row)
+	for k := 1; k < h; k++ {
+		free = intersectIntervals(free, freeIntervals(d, g, row+k))
+		if len(free) == 0 {
+			return 0, false
+		}
+	}
+	best := 0
+	bestDist := math.Inf(1)
+	for _, iv := range free {
+		if iv.Len() < w {
+			continue
+		}
+		x := geom.Clamp(int(math.Round(gx)), iv.Lo, iv.Hi-w)
+		if dist := math.Abs(float64(x) - gx); dist < bestDist {
+			bestDist = dist
+			best = x
+		}
+	}
+	return best, !math.IsInf(bestDist, 1)
+}
+
+// freeIntervals lists the free spans of one row, given its segments and
+// their current occupants.
+func freeIntervals(d *design.Design, g *segment.Grid, row int) []geom.Span {
+	var out []geom.Span
+	for _, s := range g.RowSegments(row) {
+		cur := s.Span.Lo
+		for _, id := range s.Cells() {
+			c := d.Cell(id)
+			if c.X > cur {
+				out = append(out, geom.Span{Lo: cur, Hi: c.X})
+			}
+			if c.X+c.W > cur {
+				cur = c.X + c.W
+			}
+		}
+		if cur < s.Span.Hi {
+			out = append(out, geom.Span{Lo: cur, Hi: s.Span.Hi})
+		}
+	}
+	return out
+}
+
+// intersectIntervals intersects two ascending disjoint span lists.
+func intersectIntervals(a, b []geom.Span) []geom.Span {
+	var out []geom.Span
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ov := a[i].Intersect(b[j])
+		if !ov.Empty() {
+			out = append(out, ov)
+		}
+		if a[i].Hi < b[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

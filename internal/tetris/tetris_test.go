@@ -1,0 +1,109 @@
+package tetris
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/verify"
+)
+
+func TestLegalizeSimple(t *testing.T) {
+	d := dtest.Flat(4, 40)
+	a := dtest.Unplaced(d, 4, 1, 10.3, 1.2)
+	b := dtest.Unplaced(d, 4, 2, 10.6, 1.4) // collides with a's spot
+	if err := Legalize(d, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true})
+	ca, cb := d.Cell(a), d.Cell(b)
+	if !ca.Placed || !cb.Placed {
+		t.Fatal("cells unplaced")
+	}
+	// a processed first (smaller GX): lands at its snap point.
+	if ca.X != 10 || ca.Y != 1 {
+		t.Fatalf("a at (%d,%d)", ca.X, ca.Y)
+	}
+}
+
+func TestLegalizePowerAlign(t *testing.T) {
+	d := dtest.Flat(6, 40)
+	ids := []int{}
+	for i := 0; i < 6; i++ {
+		id := dtest.Unplaced(d, 3, 2, float64(3*i), 1.1)
+		ids = append(ids, int(id))
+	}
+	if err := Legalize(d, Config{PowerAlign: true}); err != nil {
+		t.Fatal(err)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true, PowerAlignment: true})
+	_ = ids
+}
+
+func TestLegalizeRandomDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		rows := 6 + rng.Intn(4)
+		width := 40 + rng.Intn(30)
+		d := dtest.Flat(rows, width)
+		target := int(float64(rows*width) * (0.3 + 0.3*rng.Float64()))
+		area := 0
+		for area < target {
+			w := 1 + rng.Intn(5)
+			h := 1 + rng.Intn(2)
+			dtest.Unplaced(d, w, h, rng.Float64()*float64(width-w), rng.Float64()*float64(rows-h))
+			area += w * h
+		}
+		if err := Legalize(d, Config{PowerAlign: trial%2 == 0}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		verify.MustLegal(d, verify.Options{RequirePlaced: true, PowerAlignment: trial%2 == 0})
+	}
+}
+
+func TestLegalizeFailsWhenImpossible(t *testing.T) {
+	d := dtest.Flat(1, 10)
+	dtest.Unplaced(d, 12, 1, 0, 0)
+	if err := Legalize(d, Config{}); err == nil {
+		t.Fatal("expected failure for oversized cell")
+	}
+}
+
+func TestGreedyHighDisplacementAnecdote(t *testing.T) {
+	// The paper's criticism: greedy never moves placed cells, so a late
+	// cell can suffer a long trip even when a small shift of earlier
+	// cells would have freed its spot.
+	d := dtest.Flat(1, 24)
+	dtest.Unplaced(d, 8, 1, 0, 0)
+	dtest.Unplaced(d, 8, 1, 8.2, 0)
+	late := dtest.Unplaced(d, 8, 1, 9.0, 0) // wants x=9; row left [16,24) only
+	if err := Legalize(d, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Cell(late)
+	if math.Abs(float64(c.X)-9.0) < 4 {
+		t.Fatalf("expected a large greedy displacement, got x=%d", c.X)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true})
+}
+
+func TestNearestFreeXIntersection(t *testing.T) {
+	// Multi-row fit must respect free space on every spanned row.
+	d := dtest.Flat(2, 20)
+	blocker := dtest.Unplaced(d, 6, 1, 8, 1) // row 1 occupied [8,14)
+	tall := dtest.Unplaced(d, 4, 2, 9, 0)    // wants rows 0-1 at x=9
+	if err := Legalize(d, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true})
+	ct := d.Cell(tall)
+	cb := d.Cell(blocker)
+	if ct.Y != 0 {
+		t.Fatalf("tall cell on row %d", ct.Y)
+	}
+	// It cannot overlap the blocker horizontally.
+	if ct.X+ct.W > cb.X && ct.X < cb.X+cb.W {
+		t.Fatalf("tall at %d overlaps blocker at %d", ct.X, cb.X)
+	}
+}

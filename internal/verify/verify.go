@@ -1,0 +1,156 @@
+// Package verify independently checks the four legality constraints of §2
+// against a design. It deliberately shares no bookkeeping with
+// internal/segment so it can validate the legalizer's output structures.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+)
+
+// Options selects which constraints are enforced.
+type Options struct {
+	// RequirePlaced makes unplaced movable cells an error.
+	RequirePlaced bool
+	// PowerAlignment enforces constraint 4 (even-height cells on matching
+	// rail parity rows).
+	PowerAlignment bool
+}
+
+// Violation describes one legality violation.
+type Violation struct {
+	Kind  string
+	Cells []design.CellID
+	Msg   string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Kind, v.Msg) }
+
+// Check returns all violations found in d (capped at limit; limit <= 0
+// means unlimited).
+func Check(d *design.Design, opt Options, limit int) []Violation {
+	var out []Violation
+	add := func(v Violation) bool {
+		out = append(out, v)
+		return limit > 0 && len(out) >= limit
+	}
+
+	// Per-row interval occupancy for overlap, containment and blockage
+	// checks.
+	type occ struct {
+		span geom.Span
+		id   design.CellID
+	}
+	rowOcc := make([][]occ, d.NumRows())
+
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		if !c.Placed {
+			if opt.RequirePlaced {
+				if add(Violation{Kind: "unplaced", Cells: []design.CellID{c.ID},
+					Msg: fmt.Sprintf("cell %d (%s) is not placed", c.ID, c.Name)}) {
+					return out
+				}
+			}
+			continue
+		}
+		// Constraint 3: contained in rows (every spanned row exists and
+		// the x range lies inside the row span).
+		for h := 0; h < c.H; h++ {
+			row := d.RowAt(c.Y + h)
+			if row == nil {
+				if add(Violation{Kind: "row-containment", Cells: []design.CellID{c.ID},
+					Msg: fmt.Sprintf("cell %d (%s) spans nonexistent row %d", c.ID, c.Name, c.Y+h)}) {
+					return out
+				}
+				continue
+			}
+			if c.X < row.Span.Lo || c.X+c.W > row.Span.Hi {
+				if add(Violation{Kind: "row-containment", Cells: []design.CellID{c.ID},
+					Msg: fmt.Sprintf("cell %d (%s) x-range [%d,%d) outside row %d span %v",
+						c.ID, c.Name, c.X, c.X+c.W, c.Y+h, row.Span)}) {
+					return out
+				}
+			}
+			rowOcc[c.Y+h] = append(rowOcc[c.Y+h], occ{geom.Span{Lo: c.X, Hi: c.X + c.W}, c.ID})
+		}
+		// Constraint 4: power rail alignment.
+		if opt.PowerAlignment {
+			m := d.MasterOf(c.ID)
+			if !d.RailCompatible(m, c.Y) {
+				if add(Violation{Kind: "power-alignment", Cells: []design.CellID{c.ID},
+					Msg: fmt.Sprintf("even-height cell %d (%s, h=%d rail %v) on incompatible row %d (rail %v)",
+						c.ID, c.Name, c.H, m.BottomRail, c.Y, d.RowBottomRail(c.Y))}) {
+					return out
+				}
+			}
+		}
+	}
+
+	// Constraint 1 per row: sort occupancies and check pairwise-adjacent
+	// disjointness. Also check against blockages and fixed cells.
+	blocked := make([][]geom.Span, d.NumRows())
+	for _, b := range d.Blockages {
+		for y := max(0, b.Y); y < min(d.NumRows(), b.Y2()); y++ {
+			blocked[y] = append(blocked[y], geom.Span{Lo: b.X, Hi: b.X2()})
+		}
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed && c.Placed {
+			for h := 0; h < c.H; h++ {
+				y := c.Y + h
+				if y >= 0 && y < d.NumRows() {
+					blocked[y] = append(blocked[y], geom.Span{Lo: c.X, Hi: c.X + c.W})
+				}
+			}
+		}
+	}
+	for y := range rowOcc {
+		os := rowOcc[y]
+		sort.Slice(os, func(i, j int) bool { return os[i].span.Lo < os[j].span.Lo })
+		for i := 1; i < len(os); i++ {
+			if os[i].span.Lo < os[i-1].span.Hi {
+				if add(Violation{Kind: "overlap", Cells: []design.CellID{os[i-1].id, os[i].id},
+					Msg: fmt.Sprintf("cells %d and %d overlap on row %d (%v vs %v)",
+						os[i-1].id, os[i].id, y, os[i-1].span, os[i].span)}) {
+					return out
+				}
+			}
+		}
+		for _, o := range os {
+			for _, b := range blocked[y] {
+				if o.span.Overlaps(b) {
+					if add(Violation{Kind: "blockage-overlap", Cells: []design.CellID{o.id},
+						Msg: fmt.Sprintf("cell %d overlaps blocked span %v on row %d", o.id, b, y)}) {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Legal reports whether d has no violations under opt.
+func Legal(d *design.Design, opt Options) bool {
+	return len(Check(d, opt, 1)) == 0
+}
+
+// MustLegal panics with the first violations when d is not legal; intended
+// for tests and debug builds.
+func MustLegal(d *design.Design, opt Options) {
+	if vs := Check(d, opt, 5); len(vs) > 0 {
+		msg := ""
+		for _, v := range vs {
+			msg += v.String() + "\n"
+		}
+		panic("verify: design not legal:\n" + msg)
+	}
+}

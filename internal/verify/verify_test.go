@@ -1,0 +1,164 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/verify"
+)
+
+func kinds(vs []verify.Violation) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+func TestLegalPlacementPasses(t *testing.T) {
+	d := dtest.Flat(4, 50)
+	dtest.Placed(d, 5, 1, 0, 0)
+	dtest.Placed(d, 5, 2, 5, 1)
+	dtest.Placed(d, 5, 1, 10, 1)
+	if vs := verify.Check(d, verify.Options{RequirePlaced: true, PowerAlignment: true}, 0); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestDetectsOverlap(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	dtest.Placed(d, 5, 1, 0, 0)
+	dtest.Placed(d, 5, 1, 4, 0)
+	vs := verify.Check(d, verify.Options{}, 0)
+	if len(vs) != 1 || vs[0].Kind != "overlap" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if len(vs[0].Cells) != 2 {
+		t.Fatal("overlap should name both cells")
+	}
+}
+
+func TestDetectsMultiRowOverlap(t *testing.T) {
+	// Overlap only on the upper row of a double-height cell.
+	d := dtest.Flat(3, 50)
+	dtest.Placed(d, 5, 2, 0, 0) // rows 0-1
+	dtest.Placed(d, 5, 1, 3, 1) // row 1, overlapping
+	vs := verify.Check(d, verify.Options{}, 0)
+	if len(vs) != 1 || vs[0].Kind != "overlap" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestDetectsRowContainment(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	id := dtest.Placed(d, 5, 1, 47, 0) // sticks out right
+	_ = id
+	vs := verify.Check(d, verify.Options{}, 0)
+	if len(vs) != 1 || vs[0].Kind != "row-containment" {
+		t.Fatalf("violations = %v", kinds(vs))
+	}
+	d2 := dtest.Flat(2, 50)
+	dtest.Placed(d2, 5, 3, 0, 0) // taller than the chip
+	vs = verify.Check(d2, verify.Options{}, 0)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "row-containment" && strings.Contains(v.Msg, "nonexistent row") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestDetectsPowerMisalignment(t *testing.T) {
+	d := dtest.Flat(4, 50)
+	mi := d.AddMaster(design.Master{Name: "dbl", Width: 4, Height: 2, BottomRail: design.VSS})
+	id := d.AddCell("c", mi, 0, 0)
+	d.Place(id, 0, 1) // row 1 has VDD bottom: mismatch
+	vs := verify.Check(d, verify.Options{PowerAlignment: true}, 0)
+	if len(vs) != 1 || vs[0].Kind != "power-alignment" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Without the option the same placement passes.
+	if vs := verify.Check(d, verify.Options{}, 0); len(vs) != 0 {
+		t.Fatalf("unexpected: %v", vs)
+	}
+	// Odd-height cells are exempt.
+	d2 := dtest.Flat(4, 50)
+	mi3 := d2.AddMaster(design.Master{Name: "trpl", Width: 4, Height: 3, BottomRail: design.VSS})
+	id3 := d2.AddCell("c", mi3, 0, 0)
+	d2.Place(id3, 0, 1)
+	if vs := verify.Check(d2, verify.Options{PowerAlignment: true}, 0); len(vs) != 0 {
+		t.Fatalf("odd-height flagged: %v", vs)
+	}
+}
+
+func TestDetectsBlockageOverlap(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	d.Blockages = append(d.Blockages, geom.Rect{X: 10, Y: 0, W: 5, H: 1})
+	dtest.Placed(d, 5, 1, 12, 0)
+	vs := verify.Check(d, verify.Options{}, 0)
+	if len(vs) != 1 || vs[0].Kind != "blockage-overlap" {
+		t.Fatalf("violations = %v", kinds(vs))
+	}
+}
+
+func TestDetectsFixedCellOverlap(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	f := dtest.Placed(d, 10, 1, 20, 0)
+	d.Cell(f).Fixed = true
+	dtest.Placed(d, 5, 1, 22, 0)
+	vs := verify.Check(d, verify.Options{}, 0)
+	if len(vs) != 1 || vs[0].Kind != "blockage-overlap" {
+		t.Fatalf("violations = %v", kinds(vs))
+	}
+}
+
+func TestRequirePlaced(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	dtest.Unplaced(d, 5, 1, 0, 0)
+	if vs := verify.Check(d, verify.Options{}, 0); len(vs) != 0 {
+		t.Fatalf("unplaced should be fine by default: %v", vs)
+	}
+	vs := verify.Check(d, verify.Options{RequirePlaced: true}, 0)
+	if len(vs) != 1 || vs[0].Kind != "unplaced" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestCheckLimit(t *testing.T) {
+	d := dtest.Flat(1, 100)
+	for i := 0; i < 5; i++ {
+		dtest.Placed(d, 6, 1, i*3, 0) // cascade of overlaps
+	}
+	all := verify.Check(d, verify.Options{}, 0)
+	if len(all) < 3 {
+		t.Fatalf("expected several violations, got %v", all)
+	}
+	one := verify.Check(d, verify.Options{}, 1)
+	if len(one) != 1 {
+		t.Fatalf("limit ignored: %d", len(one))
+	}
+}
+
+func TestLegalAndMustLegal(t *testing.T) {
+	d := dtest.Flat(2, 50)
+	dtest.Placed(d, 5, 1, 0, 0)
+	if !verify.Legal(d, verify.Options{}) {
+		t.Fatal("legal design reported illegal")
+	}
+	dtest.Placed(d, 5, 1, 2, 0)
+	if verify.Legal(d, verify.Options{}) {
+		t.Fatal("overlap not caught")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLegal should panic")
+		}
+	}()
+	verify.MustLegal(d, verify.Options{})
+}

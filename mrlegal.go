@@ -1,0 +1,212 @@
+// Package mrlegal is a legalizer for standard-cell placements with
+// multiple-row height cells, reproducing "Legalization Algorithm for
+// Multiple-Row Height Standard Cell Design" (Chow, Pui, Young, DAC 2016).
+//
+// The core operation is Multi-row Local Legalization (MLL): given a
+// target cell and a desired position, the legalizer extracts a local
+// region, enumerates every valid insertion point — a combination of gaps
+// across vertically consecutive row segments — with a scanline algorithm,
+// scores each insertion point by the total cell displacement it would
+// cause, and realizes the best one by pushing neighboring cells aside.
+// Because every intermediate state is legal, MLL also serves as the
+// instant-legalization primitive for detailed placement moves, gate
+// sizing and buffer insertion.
+//
+// # Quick start
+//
+//	d := mrlegal.NewDesign("chip", 200, 2000) // site = 0.2µm × 2.0µm
+//	d.AddUniformRows(64, mrlegal.Span{Lo: 0, Hi: 400})
+//	inv := d.AddMaster(mrlegal.Master{Name: "INV", Width: 2, Height: 1})
+//	ff := d.AddMaster(mrlegal.Master{Name: "DFF", Width: 4, Height: 2})
+//	a := d.AddCell("u1", inv, 10.3, 7.8) // input (global placement) position
+//	b := d.AddCell("u2", ff, 11.1, 7.2)
+//	_ = a
+//	_ = b
+//
+//	l, err := mrlegal.NewLegalizer(d, mrlegal.DefaultConfig())
+//	if err != nil { ... }
+//	if err := l.Legalize(); err != nil { ... }
+//	// d now holds a legal placement; inspect d.Cells[i].X/Y.
+//
+// The packages under internal/ implement the substrates: the segment
+// bookkeeping, the scanline enumeration and evaluation, an ILP reference
+// solver, baseline legalizers (Abacus, greedy), a quadratic global placer
+// and the synthetic ISPD-2015-shaped benchmark generator used by the
+// experiment harness (cmd/mrbench).
+package mrlegal
+
+import (
+	"io"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/design"
+	"mrlegal/internal/detailed"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/gp"
+	"mrlegal/internal/netlist"
+	"mrlegal/internal/render"
+	"mrlegal/internal/verify"
+)
+
+// Geometry types (site-unit coordinate system; see §2.1.1 of the paper).
+type (
+	// Point is a location in site units.
+	Point = geom.Point
+	// Rect is a half-open rectangle in site units.
+	Rect = geom.Rect
+	// Span is a half-open 1-D interval in site units.
+	Span = geom.Span
+)
+
+// Design model types.
+type (
+	// Design is a complete placement instance.
+	Design = design.Design
+	// Master is a library cell.
+	Master = design.Master
+	// Cell is a cell instance.
+	Cell = design.Cell
+	// CellID identifies a cell within a design.
+	CellID = design.CellID
+	// Rail is a power rail kind (VSS or VDD).
+	Rail = design.Rail
+	// Orient is a cell orientation (N or FS).
+	Orient = design.Orient
+	// Row is one placement row.
+	Row = design.Row
+)
+
+// Rail and orientation constants.
+const (
+	VSS = design.VSS
+	VDD = design.VDD
+	N   = design.N
+	FS  = design.FS
+	// NoCell is the sentinel "no cell" ID.
+	NoCell = design.NoCell
+)
+
+// Netlist types.
+type (
+	// Netlist is the connectivity of a design.
+	Netlist = netlist.Netlist
+	// Net is one net.
+	Net = netlist.Net
+	// Pin is one net pin.
+	Pin = netlist.Pin
+)
+
+// Legalizer types.
+type (
+	// Config tunes the legalizer; start from DefaultConfig.
+	Config = core.Config
+	// Legalizer runs full legalization (Algorithm 1) and incremental MLL
+	// operations on one design.
+	Legalizer = core.Legalizer
+	// Stats counts legalizer activity.
+	Stats = core.Stats
+	// LocalSolver is the pluggable local-problem solver interface (the
+	// ILP baseline in internal/ilplegal implements it).
+	LocalSolver = core.LocalSolver
+)
+
+// Verification types.
+type (
+	// Violation is one legality violation.
+	Violation = verify.Violation
+	// VerifyOptions selects which constraints to check.
+	VerifyOptions = verify.Options
+)
+
+// NewDesign returns an empty design with the given physical site
+// dimensions in database units (for example nanometres).
+func NewDesign(name string, siteW, siteH int64) *Design {
+	return design.New(name, siteW, siteH)
+}
+
+// NewNetlist returns an empty netlist.
+func NewNetlist() *Netlist { return netlist.New() }
+
+// DefaultConfig returns the paper's parameter settings (Rx=30, Ry=5,
+// power alignment on, approximate insertion-point evaluation).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewLegalizer builds the row/segment bookkeeping for d and returns a
+// legalizer. Cells already placed in d are honored; fixed cells act as
+// blockages.
+func NewLegalizer(d *Design, cfg Config) (*Legalizer, error) {
+	return core.NewLegalizer(d, cfg)
+}
+
+// Verify checks the §2 legality constraints and returns up to limit
+// violations (limit <= 0 means all).
+func Verify(d *Design, opt VerifyOptions, limit int) []Violation {
+	return verify.Check(d, opt, limit)
+}
+
+// IsLegal reports whether d satisfies the legality constraints.
+func IsLegal(d *Design, opt VerifyOptions) bool {
+	return verify.Legal(d, opt)
+}
+
+// GlobalPlaceConfig tunes the built-in quadratic global placer.
+type GlobalPlaceConfig = gp.Config
+
+// GlobalPlace computes input positions (Cell.GX/GY) for every movable
+// cell by quadratic placement with spreading — a convenience for users
+// who start from a netlist rather than an existing global placement.
+func GlobalPlace(d *Design, nl *Netlist, cfg GlobalPlaceConfig) gp.Stats {
+	return gp.Place(d, nl, cfg)
+}
+
+// DetailedPlaceConfig tunes the wirelength-driven detailed placer built
+// on instant legalization (median moves through MoveCell).
+type DetailedPlaceConfig = detailed.Config
+
+// DetailedPlaceStats reports a DetailedPlace run.
+type DetailedPlaceStats = detailed.Stats
+
+// DetailedPlace improves HPWL with optimal-region moves, each executed
+// through MLL so every intermediate placement is legal — the detailed
+// placement application of the paper's §1.
+func DetailedPlace(l *Legalizer, nl *Netlist, cfg DetailedPlaceConfig) DetailedPlaceStats {
+	return detailed.Optimize(l, nl, cfg)
+}
+
+// SwapStats reports a DetailedPlaceSwaps run.
+type SwapStats = detailed.SwapStats
+
+// DetailedPlaceSwaps runs one pass of equal-footprint cell swapping — the
+// multi-row-safe special case of cell reordering (see internal/detailed).
+// maxPairs caps the attempted pairs (0 = unlimited).
+func DetailedPlaceSwaps(l *Legalizer, nl *Netlist, maxPairs int) SwapStats {
+	return detailed.OptimizeSwaps(l, nl, maxPairs)
+}
+
+// BenchmarkSpec describes a synthetic ISPD-2015-shaped benchmark.
+type BenchmarkSpec = bengen.Spec
+
+// Benchmark is a generated design plus netlist.
+type Benchmark = bengen.Benchmark
+
+// GenerateBenchmark builds a synthetic benchmark deterministically.
+func GenerateBenchmark(spec BenchmarkSpec) *Benchmark {
+	return bengen.Generate(spec)
+}
+
+// Table1Specs returns the paper's 20 benchmark specs scaled down by the
+// given factor.
+func Table1Specs(scale int) []BenchmarkSpec {
+	return bengen.Table1Specs(scale)
+}
+
+// RenderOptions controls RenderSVG.
+type RenderOptions = render.Options
+
+// RenderSVG draws the design as an SVG document: rows, blockages, cells
+// colored by row height, optionally with displacement vectors from the
+// input positions.
+func RenderSVG(w io.Writer, d *Design, opt RenderOptions) error {
+	return render.SVG(w, d, opt)
+}
