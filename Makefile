@@ -1,0 +1,28 @@
+# Standard developer entry points. `make check` is the tier-1 gate:
+# everything it runs must pass before a change lands.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz session over the bookshelf parser (satellite of the
+# robustness work; see docs/ROBUSTNESS.md).
+fuzz:
+	$(GO) test ./internal/bookshelf -fuzz FuzzRead -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +40,11 @@ func main() {
 		seed    = flag.Int64("seed", 1, "retry-offset random seed")
 		quiet   = flag.Bool("q", false, "suppress the metrics report")
 		svg     = flag.String("svg", "", "also write an SVG rendering (with displacement vectors) to this file")
+
+		timeout     = flag.Duration("timeout", 0, "overall legalization deadline (0 = none)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell placement deadline (0 = none)")
+		bestEffort  = flag.Bool("best-effort", false, "place as many cells as possible and report failures instead of aborting")
+		auditEvery  = flag.Int("audit-every", 0, "run a full invariant audit every N placements, rolling back the batch on violation (0 = off)")
 	)
 	flag.Parse()
 
@@ -77,6 +83,8 @@ func main() {
 	cfg.PowerAlign = !*noalign
 	cfg.ExactEval = *exact
 	cfg.Seed = *seed
+	cfg.CellTimeout = *cellTimeout
+	cfg.AuditEvery = *auditEvery
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}
 	}
@@ -84,13 +92,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	if err := l.Legalize(); err != nil {
+	allPlaced := true
+	if *bestEffort {
+		rep, err := l.LegalizeBestEffort(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		allPlaced = len(rep.Failed) == 0
+		if !*quiet || !allPlaced {
+			fmt.Fprint(os.Stderr, rep.Summary(10))
+		}
+	} else if err := l.LegalizeCtx(ctx); err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	if vs := verify.Check(d, verify.Options{RequirePlaced: true, PowerAlignment: cfg.PowerAlign}, 5); len(vs) > 0 {
+	if vs := verify.Check(d, verify.Options{RequirePlaced: allPlaced, PowerAlignment: cfg.PowerAlign}, 5); len(vs) > 0 {
 		for _, v := range vs {
 			fmt.Fprintf(os.Stderr, "mrlegal: VIOLATION %s\n", v)
 		}

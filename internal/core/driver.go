@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"mrlegal/internal/design"
+	"mrlegal/internal/verify"
 )
 
 // Legalize runs Algorithm 1 (§3) over every movable unplaced cell of the
@@ -15,8 +18,59 @@ import (
 // offsets growing as ±Rx·(k−1), ±Ry·(k−1) for round k.
 //
 // It returns an error when cells remain unplaced after Cfg.MaxRounds
-// rounds (for example a cell wider than every segment).
+// rounds (for example a cell wider than every segment). The design is
+// left legal for all placed cells in every outcome.
 func (l *Legalizer) Legalize() error {
+	return l.LegalizeCtx(context.Background())
+}
+
+// LegalizeCtx is Legalize with cancellation: the run stops at the next
+// cell boundary (or mid-enumeration) once ctx is done and returns an
+// error wrapping ErrCanceled. Cells placed before cancellation stay
+// placed and legal.
+func (l *Legalizer) LegalizeCtx(ctx context.Context) error {
+	rep, err := l.run(ctx)
+	if err != nil {
+		return err
+	}
+	if len(rep.Failed) == 0 && !rep.TimedOut {
+		return nil
+	}
+	if rep.TimedOut {
+		return fmt.Errorf("core: %d cells unplaced when run was canceled after %d rounds: %w",
+			len(rep.Failed), rep.Rounds, ErrCanceled)
+	}
+	return fmt.Errorf("core: %d cells still unplaced after %d rounds: %w (first: %w)",
+		len(rep.Failed), rep.Rounds, ErrRoundsExhausted, rep.Failed[0].Err)
+}
+
+// LegalizeBestEffort runs Algorithm 1 but never turns partial success
+// into failure: on round exhaustion, cancellation or unplaceable cells it
+// returns a Report naming each failing cell and its reason, with the
+// design left legal for all placed cells. The error is non-nil only for
+// non-recoverable engine faults (ErrRollbackFailed, ErrTxnActive).
+func (l *Legalizer) LegalizeBestEffort(ctx context.Context) (*Report, error) {
+	return l.run(ctx)
+}
+
+// runState threads the transactional bookkeeping of one run through the
+// rounds: the open batch transaction, the cells placed since the last
+// commit, and the most recent failure reason per cell.
+type runState struct {
+	txn        *Txn
+	batch      []design.CellID
+	sinceAudit int
+	rep        *Report
+	lastErr    map[design.CellID]error
+	canceled   bool
+	fatal      error
+}
+
+// run is the engine shared by the strict and best-effort entry points.
+func (l *Legalizer) run(ctx context.Context) (*Report, error) {
+	rep := &Report{}
+	st := &runState{rep: rep, lastErr: make(map[design.CellID]error)}
+
 	var unplaced []design.CellID
 	for i := range l.D.Cells {
 		c := &l.D.Cells[i]
@@ -34,19 +88,82 @@ func (l *Legalizer) Legalize() error {
 		return unplaced[i] < unplaced[j]
 	})
 
-	// First iteration: input positions.
-	unplaced = l.placeRound(unplaced, 1)
-
-	// Retry rounds with random offsets.
-	for k := 2; len(unplaced) > 0; k++ {
-		if k > l.Cfg.MaxRounds {
-			return fmt.Errorf("core: %d cells still unplaced after %d rounds (first: cell %d %q)",
-				len(unplaced), l.Cfg.MaxRounds, unplaced[0], l.D.Cell(unplaced[0]).Name)
+	// Prescreen cells no round can ever place (wider than every segment of
+	// every compatible row) so they fail fast with a precise reason
+	// instead of burning the whole round budget.
+	var infeasible []design.CellID
+	feasible := unplaced[:0]
+	for _, id := range unplaced {
+		c := l.D.Cell(id)
+		if l.widthFits(l.D.MasterOf(id), c.W, c.H) {
+			feasible = append(feasible, id)
+		} else {
+			infeasible = append(infeasible, id)
 		}
-		l.stats.RetryRounds++
-		unplaced = l.placeRound(unplaced, k)
 	}
-	return nil
+	unplaced = feasible
+
+	l.runCtx = ctx
+	defer func() {
+		l.runCtx = nil
+		l.cellDeadline = time.Time{}
+		l.expired = nil
+	}()
+
+	t, err := l.Begin()
+	if err != nil {
+		return rep, err
+	}
+	st.txn = t
+
+	for k := 1; len(unplaced) > 0; k++ {
+		if ctx.Err() != nil {
+			st.canceled = true
+			for _, id := range unplaced {
+				st.lastErr[id] = ErrCanceled
+			}
+			break
+		}
+		if k > l.Cfg.MaxRounds {
+			break
+		}
+		rep.Rounds++
+		if k > 1 {
+			l.stats.RetryRounds++
+		}
+		unplaced = l.placeRound(unplaced, k, st)
+		if st.fatal != nil {
+			break
+		}
+	}
+	if st.txn != nil && st.txn.Active() {
+		st.txn.Commit()
+	}
+	rep.TimedOut = st.canceled
+
+	for _, id := range infeasible {
+		rep.Failed = append(rep.Failed, CellFailure{Cell: id, Name: l.D.Cell(id).Name, Err: ErrCellTooWide})
+	}
+	for _, id := range unplaced {
+		reason := st.lastErr[id]
+		if reason == nil {
+			reason = ErrRoundsExhausted
+		}
+		rep.Failed = append(rep.Failed, CellFailure{Cell: id, Name: l.D.Cell(id).Name, Err: reason})
+	}
+	for i := range l.D.Cells {
+		c := &l.D.Cells[i]
+		if c.Fixed || !c.Placed {
+			continue
+		}
+		rep.Placed++
+		if disp := c.DispSites(l.D.SiteW, l.D.SiteH); disp > rep.MaxDisp {
+			rep.MaxDisp = disp
+		}
+	}
+	rep.TotalDisp, rep.AvgDisp = l.D.TotalDispSites()
+	rep.Stats = l.stats
+	return rep, st.fatal
 }
 
 // placeRound attempts one Algorithm-1 pass over the given cells, round
@@ -54,61 +171,148 @@ func (l *Legalizer) Legalize() error {
 // on, late rounds use progressively larger local-region windows so dense
 // instances whose solutions need compaction beyond one window still
 // terminate.
-func (l *Legalizer) placeRound(cells []design.CellID, k int) []design.CellID {
+func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []design.CellID {
 	rx, ry := l.Cfg.Rx, l.Cfg.Ry
 	if l.Cfg.EscalateWindow && k > 4 {
 		scale := 1 + (k-4)/2
 		rx *= scale
 		ry *= scale
 	}
+	bounds := l.D.Bounds()
 	var failed []design.CellID
-	for _, id := range cells {
+	for i, id := range cells {
+		if l.runCtx.Err() != nil {
+			st.canceled = true
+			for _, rest := range cells[i:] {
+				st.lastErr[rest] = ErrCanceled
+			}
+			failed = append(failed, cells[i:]...)
+			break
+		}
 		c := l.D.Cell(id)
 		tx, ty := c.GX, c.GY
 		if k > 1 {
-			tx += float64(l.rng.rangeInt(l.Cfg.Rx * (k - 1)))
-			ty += float64(l.rng.rangeInt(l.Cfg.Ry * (k - 1)))
+			// Retry jitter follows the escalated radii so late-round
+			// retries explore a region as large as the window they get,
+			// clamped to the die: an off-chip target centers the MLL
+			// window over empty space and wastes the round.
+			tx += float64(l.rng.rangeInt(rx * (k - 1)))
+			ty += float64(l.rng.rangeInt(ry * (k - 1)))
+			tx = math.Min(math.Max(tx, float64(bounds.X)), float64(bounds.X2()-c.W))
+			ty = math.Min(math.Max(ty, float64(bounds.Y)), float64(bounds.Y2()-c.H))
 		}
-		ok := false
-		if x, y, snapOK := l.snap(c, tx, ty); snapOK && l.G.FreeAt(x, y, c.W, c.H) {
-			l.D.Place(id, x, y)
-			if err := l.G.Insert(id); err == nil {
-				l.stats.DirectPlacements++
-				l.lastMoved = l.lastMoved[:0]
-				ok = true
-			} else {
-				l.D.Unplace(id)
-			}
+		if l.Cfg.CellTimeout > 0 {
+			l.cellDeadline = time.Now().Add(l.Cfg.CellTimeout)
+		} else {
+			l.cellDeadline = time.Time{}
 		}
-		if !ok {
-			ok = l.mllWindow(id, tx, ty, rx, ry)
-		}
-		if !ok {
+		err := l.attempt(id, func() error {
+			return l.placeAt(id, tx, ty, rx, ry)
+		})
+		if err != nil {
+			st.lastErr[id] = err
 			failed = append(failed, id)
+			continue
+		}
+		st.batch = append(st.batch, id)
+		st.sinceAudit++
+		failed = append(failed, l.maybeAudit(st)...)
+		if st.fatal != nil {
+			failed = append(failed, cells[i+1:]...)
+			break
 		}
 	}
 	return failed
 }
 
+// maybeAudit runs the periodic invariant audit when due. On a violation
+// (real or injected) it rolls the batch transaction back to the last
+// committed state and returns the unwound cells so the round re-queues
+// them; otherwise it commits the batch. A fresh transaction is opened
+// either way.
+func (l *Legalizer) maybeAudit(st *runState) []design.CellID {
+	if l.Cfg.AuditEvery <= 0 || st.sinceAudit < l.Cfg.AuditEvery {
+		return nil
+	}
+	st.rep.AuditRuns++
+	st.sinceAudit = 0
+	bad := l.Cfg.Faults != nil && l.Cfg.Faults.OnAudit()
+	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign}, 1)) > 0 {
+		bad = true
+	}
+	if !bad && l.G.CheckConsistency() != nil {
+		bad = true
+	}
+	if !bad {
+		st.txn.Commit()
+		t, err := l.Begin()
+		if err != nil {
+			st.fatal = err
+			return nil
+		}
+		st.txn = t
+		st.batch = st.batch[:0]
+		return nil
+	}
+	st.rep.AuditRollbacks++
+	rolledBack := append([]design.CellID(nil), st.batch...)
+	if err := st.txn.Rollback(); err != nil {
+		st.fatal = err
+		return nil
+	}
+	for _, id := range rolledBack {
+		st.lastErr[id] = ErrAuditFailed
+	}
+	t, err := l.Begin()
+	if err != nil {
+		st.fatal = err
+		return nil
+	}
+	st.txn = t
+	st.batch = st.batch[:0]
+	return rolledBack
+}
+
+// placeAt tries the fast direct placement at the snapped target position
+// and falls back to MLL with the given window half-extent. It must run
+// inside a transaction boundary (attempt).
+func (l *Legalizer) placeAt(id design.CellID, tx, ty float64, rx, ry int) error {
+	c := l.D.Cell(id)
+	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
+		l.touch(id)
+		l.D.Place(id, x, y)
+		if err := l.insertGrid(id); err == nil {
+			l.stats.DirectPlacements++
+			l.lastMoved = l.lastMoved[:0]
+			return nil
+		}
+		// Grid inserts are all-or-nothing, so only the design mark needs
+		// undoing before falling back to MLL.
+		l.D.Unplace(id)
+	}
+	return l.mllWindow(id, tx, ty, rx, ry)
+}
+
 // PlaceCell places the unplaced cell id as close as possible to the
 // desired position (tx, ty): directly when the nearest site-aligned,
 // rail-compatible position is free, through MLL otherwise. It reports
-// success.
+// success; on failure the design is unchanged.
 func (l *Legalizer) PlaceCell(id design.CellID, tx, ty float64) bool {
+	return l.TryPlaceCell(id, tx, ty) == nil
+}
+
+// TryPlaceCell is PlaceCell with a structured error: on failure it
+// reports why the cell could not be placed (wrapping ErrNoInsertionPoint,
+// ErrCellTooWide, ErrPanicked, ...), with all intermediate state rolled
+// back.
+func (l *Legalizer) TryPlaceCell(id design.CellID, tx, ty float64) error {
 	c := l.D.Cell(id)
 	if c.Placed {
 		panic("core: PlaceCell target must be unplaced")
 	}
-	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
-		l.D.Place(id, x, y)
-		if err := l.G.Insert(id); err == nil {
-			l.stats.DirectPlacements++
-			l.lastMoved = l.lastMoved[:0]
-			return true
-		}
-		l.D.Unplace(id)
-	}
-	return l.MLL(id, tx, ty)
+	return l.attempt(id, func() error {
+		return l.placeAt(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+	})
 }
 
 // snap returns the nearest site-aligned, row-contained and (when power
@@ -170,25 +374,26 @@ func clampInt(v, lo, hi int) int {
 // failure the cell keeps its original position and the design is
 // unchanged.
 func (l *Legalizer) MoveCell(id design.CellID, tx, ty float64) bool {
+	return l.TryMoveCell(id, tx, ty) == nil
+}
+
+// TryMoveCell is MoveCell with a structured error. The move runs inside a
+// transaction: any failure — including a panic mid-realization — rolls
+// the cell back to its original position with the grid intact.
+func (l *Legalizer) TryMoveCell(id design.CellID, tx, ty float64) error {
 	c := l.D.Cell(id)
 	if c.Fixed {
-		return false
+		return l.cellErr(id, ErrFixedCell)
 	}
 	if !c.Placed {
-		return l.PlaceCell(id, tx, ty)
+		return l.TryPlaceCell(id, tx, ty)
 	}
-	oldX, oldY := c.X, c.Y
-	l.G.Remove(id)
-	l.D.Unplace(id)
-	if l.PlaceCell(id, tx, ty) {
-		return true
-	}
-	// Restore.
-	l.D.Place(id, oldX, oldY)
-	if err := l.G.Insert(id); err != nil {
-		panic(fmt.Sprintf("core: MoveCell restore failed: %v", err))
-	}
-	return false
+	return l.attempt(id, func() error {
+		l.touch(id)
+		l.G.Remove(id)
+		l.D.Unplace(id)
+		return l.placeAt(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+	})
 }
 
 // ResizeCell changes the width of a placed cell (gate sizing) and locally
@@ -196,29 +401,39 @@ func (l *Legalizer) MoveCell(id design.CellID, tx, ty float64) bool {
 // width and position are restored. The cell keeps its master index; only
 // the instance width changes.
 func (l *Legalizer) ResizeCell(id design.CellID, newW int) bool {
+	return l.TryResizeCell(id, newW) == nil
+}
+
+// TryResizeCell is ResizeCell with a structured error, run inside a
+// transaction so every failure path restores the original width and
+// position.
+func (l *Legalizer) TryResizeCell(id design.CellID, newW int) error {
 	if newW < 1 {
-		return false
+		return l.cellErr(id, ErrInvalidWidth)
 	}
 	c := l.D.Cell(id)
 	if c.Fixed {
-		return false
+		return l.cellErr(id, ErrFixedCell)
 	}
-	oldW := c.W
 	if !c.Placed {
+		// No position to re-legalize, but the new width must still fit
+		// some segment or the cell is guaranteed unplaceable later.
+		if !l.widthFits(l.D.MasterOf(id), newW, c.H) {
+			return l.cellErr(id, ErrCellTooWide)
+		}
+		l.touch(id)
 		c.W = newW
-		return true
+		return nil
 	}
 	oldX, oldY := c.X, c.Y
-	l.G.Remove(id)
-	l.D.Unplace(id)
-	c.W = newW
-	if l.PlaceCell(id, float64(oldX), float64(oldY)) {
-		return true
-	}
-	c.W = oldW
-	l.D.Place(id, oldX, oldY)
-	if err := l.G.Insert(id); err != nil {
-		panic(fmt.Sprintf("core: ResizeCell restore failed: %v", err))
-	}
-	return false
+	return l.attempt(id, func() error {
+		if !l.widthFits(l.D.MasterOf(id), newW, c.H) {
+			return ErrCellTooWide
+		}
+		l.touch(id)
+		l.G.Remove(id)
+		l.D.Unplace(id)
+		c.W = newW
+		return l.placeAt(id, float64(oldX), float64(oldY), l.Cfg.Rx, l.Cfg.Ry)
+	})
 }

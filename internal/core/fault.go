@@ -1,0 +1,41 @@
+package core
+
+import "mrlegal/internal/design"
+
+// FaultInjector intercepts the engine's mutation points for chaos testing.
+// A nil Cfg.Faults disables injection entirely; the production hot path
+// pays only a nil check per hook site.
+//
+// internal/faultinject provides a deterministic counter-based
+// implementation. Hooks fire on the *primary* mutation paths only — never
+// during transaction rollback, which is the recovery mechanism under test.
+type FaultInjector interface {
+	// OnGridInsert runs before every occupancy-grid insert on a primary
+	// path (direct placement and realization commit). A non-nil return is
+	// treated exactly like a grid insert failure.
+	OnGridInsert(id design.CellID) error
+
+	// OnRealize runs mid-realization-commit, after local cells have been
+	// shifted and the target marked placed but before its grid insert —
+	// the most inconsistent instant of the engine. It may panic to
+	// simulate a crash; the transaction boundary must recover and roll
+	// back.
+	OnRealize(id design.CellID)
+
+	// OnAudit runs at every mid-run invariant audit. Returning true
+	// injects an audit violation, forcing a rollback to the last committed
+	// state.
+	OnAudit() bool
+}
+
+// insertGrid inserts a placed cell into the occupancy grid through the
+// fault-injection hook. All primary insert paths go through here; rollback
+// uses the raw grid so recovery cannot be sabotaged by the injector.
+func (l *Legalizer) insertGrid(id design.CellID) error {
+	if l.Cfg.Faults != nil {
+		if err := l.Cfg.Faults.OnGridInsert(id); err != nil {
+			return err
+		}
+	}
+	return l.G.Insert(id)
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math"
+	"time"
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
@@ -61,6 +63,25 @@ type Config struct {
 	// constructing and solving the ILP problem"). Algorithm 1 and the
 	// realization machinery are shared.
 	Solver LocalSolver
+
+	// AuditEvery, when positive, runs an independent invariant audit
+	// (verify.Check plus grid consistency) after every AuditEvery
+	// successful placements during Legalize. A violation rolls the run
+	// back to the last committed state and retries the affected cells.
+	// 0 disables mid-run audits.
+	AuditEvery int
+
+	// CellTimeout bounds the wall-clock time spent on a single cell
+	// attempt (enumeration is abandoned once exceeded and the cell fails
+	// with ErrCellTimeout for that round). 0 disables the per-cell
+	// deadline. Note that a non-zero value trades determinism for
+	// bounded latency.
+	CellTimeout time.Duration
+
+	// Faults, when non-nil, injects deterministic failures at the
+	// engine's mutation points for chaos testing (see FaultInjector and
+	// internal/faultinject). Nil in production.
+	Faults FaultInjector
 }
 
 // LocalSolver selects an insertion point and target x for one local
@@ -112,6 +133,22 @@ type Legalizer struct {
 	// lastMoved records the local cells shifted by the most recent
 	// successful realization (excluding the target). Reused buffer.
 	lastMoved []design.CellID
+
+	// txn is the active transaction, nil outside Begin/Commit windows.
+	txn *Txn
+
+	// runCtx and cellDeadline carry the cancellation state of the current
+	// Legalize run; checkTick rate-limits the time syscalls inside the
+	// enumeration hot loop. expired caches the first cancellation cause
+	// observed for the current cell attempt.
+	runCtx       context.Context
+	cellDeadline time.Time
+	checkTick    int
+	expired      error
+
+	// rowMaxSeg caches the widest segment length per row (segment spans
+	// are static for the life of a grid). Built lazily by widthFits.
+	rowMaxSeg []int
 }
 
 // LastMoved returns the cells pushed aside by the most recent successful
@@ -147,14 +184,20 @@ func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
 // with desired position (tx, ty) in fractional site units: it extracts
 // the local region around the target, enumerates valid insertion points,
 // evaluates them, and realizes the best one. It reports whether a legal
-// placement was found; on failure the design is unchanged.
+// placement was found; on failure the design is unchanged (the attempt
+// runs inside a transaction, so even a panic mid-realization rolls back).
 func (l *Legalizer) MLL(id design.CellID, tx, ty float64) bool {
-	return l.mllWindow(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+	err := l.attempt(id, func() error {
+		return l.mllWindow(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+	})
+	return err == nil
 }
 
 // mllWindow is MLL with an explicit window half-extent (used by the
-// window-escalation fallback of the driver).
-func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) bool {
+// window-escalation fallback of the driver). It must run inside a
+// transaction boundary (attempt); failures are reported as taxonomy
+// errors and leave undo records for the boundary to unwind.
+func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) error {
 	l.stats.MLLCalls++
 	c := l.D.Cell(id)
 	if c.Placed {
@@ -169,6 +212,12 @@ func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) bool
 		H: 2*ry + c.H,
 	}
 	r := ExtractRegion(l.G, win)
+	// Thread the transaction and fault hooks into the realization.
+	r.onTouch = l.touch
+	r.insertFn = l.insertGrid
+	if l.Cfg.Faults != nil {
+		r.onRealize = l.Cfg.Faults.OnRealize
+	}
 	var ip *InsertionPoint
 	var x int
 	if l.Cfg.Solver != nil {
@@ -184,19 +233,83 @@ func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) bool
 	}
 	if ip == nil {
 		l.stats.MLLFailures++
-		return false
+		if l.expired != nil {
+			// Enumeration was cut short by cancellation, not exhausted.
+			return l.expired
+		}
+		return ErrNoInsertionPoint
 	}
 	moved, err := r.Realize(ip, x, id)
 	if err != nil {
-		// Should not happen for enumerated insertion points; treat as a
-		// failed attempt rather than corrupting the run.
+		// Should not happen for enumerated insertion points; the
+		// transaction boundary unwinds any partial realization state.
 		l.stats.MLLFailures++
-		return false
+		return err
 	}
 	l.stats.MLLSuccesses++
 	l.stats.CellsPushed += int64(len(moved))
 	l.lastMoved = append(l.lastMoved[:0], moved...)
-	return true
+	return nil
+}
+
+// cancelCheck is polled inside the enumeration hot loop (rate-limited to
+// one time syscall per 256 insertion points). It reports whether the
+// current cell attempt should be abandoned and caches the cause in
+// l.expired.
+func (l *Legalizer) cancelCheck() bool {
+	if l.expired != nil {
+		return true
+	}
+	if l.runCtx == nil && l.cellDeadline.IsZero() {
+		return false
+	}
+	l.checkTick++
+	if l.checkTick&255 != 0 {
+		return false
+	}
+	if l.runCtx != nil && l.runCtx.Err() != nil {
+		l.expired = ErrCanceled
+		return true
+	}
+	if !l.cellDeadline.IsZero() && time.Now().After(l.cellDeadline) {
+		l.expired = ErrCellTimeout
+		return true
+	}
+	return false
+}
+
+// widthFits reports whether a cell of width w and height h of master m
+// could ever be placed: some rail-compatible bottom row must offer, on
+// every spanned row, a segment at least w sites wide. It is a necessary
+// condition for placeability, used to fail unplaceable cells fast with
+// ErrCellTooWide instead of burning retry rounds.
+func (l *Legalizer) widthFits(m *design.Master, w, h int) bool {
+	if l.rowMaxSeg == nil {
+		l.rowMaxSeg = make([]int, l.D.NumRows())
+		for y := range l.rowMaxSeg {
+			for _, s := range l.G.RowSegments(y) {
+				if n := s.Span.Len(); n > l.rowMaxSeg[y] {
+					l.rowMaxSeg[y] = n
+				}
+			}
+		}
+	}
+	for y := 0; y+h <= l.D.NumRows(); y++ {
+		if l.Cfg.PowerAlign && !l.D.RailCompatible(m, y) {
+			continue
+		}
+		ok := true
+		for r := y; r < y+h; r++ {
+			if l.rowMaxSeg[r] < w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // bestInsertionPoint enumerates and evaluates insertion points for target
@@ -217,6 +330,9 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 		n++
 		if ev.OK && (best == nil || better(ev, bestEv)) {
 			best, bestEv = ip, ev
+		}
+		if l.cancelCheck() {
+			return false
 		}
 		return l.Cfg.MaxInsertionPoints == 0 || n < l.Cfg.MaxInsertionPoints
 	})

@@ -127,17 +127,24 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 	}
 
 	// Commit to the design and segment grid. Order within each segment
-	// list is preserved by the push passes, so ShiftX suffices.
+	// list is preserved by the push passes, so ShiftX suffices. Every cell
+	// is announced to the transaction layer before its first mutation, so
+	// a failure (or injected panic) anywhere below rolls back cleanly.
 	out := make([]design.CellID, 0, len(moved))
 	for id := range moved {
 		if id == target {
 			continue
 		}
+		r.touch(id)
 		r.G.ShiftX(id, r.info[id].x)
 		out = append(out, id)
 	}
+	r.touch(target)
 	d.Place(target, x, yBot)
-	if err := r.G.Insert(target); err != nil {
+	if r.onRealize != nil {
+		r.onRealize(target)
+	}
+	if err := r.insertCell(target); err != nil {
 		return nil, fmt.Errorf("core: realize commit: %w", err)
 	}
 	return out, nil

@@ -55,6 +55,34 @@ type Region struct {
 	// multiRow lists the local cells spanning more than one row, used by
 	// insertion-point validity checks.
 	multiRow []design.CellID
+
+	// onTouch, when non-nil, is invoked with a cell ID immediately before
+	// the cell's design or grid state is mutated; the legalizer wires it
+	// to the active transaction's undo logging.
+	onTouch func(design.CellID)
+	// insertFn, when non-nil, replaces the raw grid insert for the target
+	// commit (fault-injection hook).
+	insertFn func(design.CellID) error
+	// onRealize, when non-nil, fires mid-realization-commit (see
+	// FaultInjector.OnRealize).
+	onRealize func(design.CellID)
+}
+
+// touch notifies the transaction layer (when wired) that cell id is about
+// to be mutated.
+func (r *Region) touch(id design.CellID) {
+	if r.onTouch != nil {
+		r.onTouch(id)
+	}
+}
+
+// insertCell inserts the target through the fault-injection hook when one
+// is wired, the raw grid otherwise.
+func (r *Region) insertCell(id design.CellID) error {
+	if r.insertFn != nil {
+		return r.insertFn(id)
+	}
+	return r.G.Insert(id)
 }
 
 // NumLocalCells returns the number of local cells |C_W|.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/verify"
+)
+
+// snapshotPlacement captures (X, Y, W, Placed, Orient) of every cell.
+func snapshotPlacement(d *design.Design) []design.Cell {
+	return append([]design.Cell(nil), d.Cells...)
+}
+
+func samePlacement(t *testing.T, want, got []design.Cell) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("cell count changed: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.X != b.X || a.Y != b.Y || a.W != b.W || a.H != b.H || a.Placed != b.Placed || a.Orient != b.Orient {
+			t.Fatalf("cell %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestTxnRollbackRestoresMovesAndGrid(t *testing.T) {
+	d := dtest.Flat(4, 40)
+	a := dtest.Placed(d, 4, 1, 0, 0)
+	b := dtest.Placed(d, 4, 2, 8, 0)
+	c := dtest.Placed(d, 4, 1, 20, 2)
+	l, err := NewLegalizer(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotPlacement(d)
+
+	txn, err := l.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate all three cells through the legalizer's primitives.
+	l.touch(a)
+	l.G.Remove(a)
+	l.D.Unplace(a)
+	l.touch(b)
+	l.G.Remove(b)
+	l.D.Place(b, 30, 0)
+	if err := l.G.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	l.touch(c)
+	l.G.Remove(c)
+	l.D.Unplace(c)
+	l.touch(c) // second touch in same span must dedup
+	l.D.Place(c, 0, 3)
+	if err := l.G.Insert(c); err != nil {
+		t.Fatal(err)
+	}
+	if txn.Touched() != 3 {
+		t.Fatalf("touched = %d, want 3", txn.Touched())
+	}
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	samePlacement(t, before, snapshotPlacement(d))
+	if err := l.G.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	verify.MustLegal(d, verify.Options{RequirePlaced: true, PowerAlignment: true})
+}
+
+func TestTxnSavepointRollsBackOnlyTail(t *testing.T) {
+	d := dtest.Flat(2, 40)
+	a := dtest.Placed(d, 4, 1, 0, 0)
+	b := dtest.Placed(d, 4, 1, 10, 0)
+	l, err := NewLegalizer(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := l.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span 1: move a.
+	l.touch(a)
+	l.G.Remove(a)
+	l.D.Place(a, 20, 0)
+	if err := l.G.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	mark := txn.Mark()
+	// Span 2: move b, and move a again (new record after the mark).
+	l.touch(b)
+	l.G.Remove(b)
+	l.D.Place(b, 30, 0)
+	if err := l.G.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	l.touch(a)
+	l.G.Remove(a)
+	l.D.Place(a, 36, 0)
+	if err := l.G.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.RollbackTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	// Span 1's move survives; span 2's moves are undone.
+	if got := d.Cell(a).X; got != 20 {
+		t.Fatalf("a.X = %d, want 20 (span-1 state)", got)
+	}
+	if got := d.Cell(b).X; got != 10 {
+		t.Fatalf("b.X = %d, want 10 (original)", got)
+	}
+	if err := l.G.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if l.txn != nil {
+		t.Fatal("commit did not release the transaction slot")
+	}
+}
+
+func TestTxnRollbackFromHalfCommittedState(t *testing.T) {
+	// Simulate a crash between a design mutation and the matching grid
+	// update: the cell is marked placed but absent from the grid.
+	d := dtest.Flat(2, 40)
+	a := dtest.Placed(d, 4, 1, 0, 0)
+	l, err := NewLegalizer(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotPlacement(d)
+	txn, err := l.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.touch(a)
+	l.G.Remove(a)
+	l.D.Place(a, 25, 1) // placed per the design, missing from the grid
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	samePlacement(t, before, snapshotPlacement(d))
+	if err := l.G.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnNestedBeginFails(t *testing.T) {
+	d := dtest.Flat(1, 10)
+	l, err := NewLegalizer(d, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := l.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Begin(); !errors.Is(err, ErrTxnActive) {
+		t.Fatalf("nested Begin = %v, want ErrTxnActive", err)
+	}
+	txn.Commit()
+	if _, err := l.Begin(); err != nil {
+		t.Fatalf("Begin after Commit = %v", err)
+	}
+}

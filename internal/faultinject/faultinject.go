@@ -1,0 +1,79 @@
+// Package faultinject provides a deterministic fault injector for chaos
+// testing the transactional legalization engine (internal/core). All
+// triggers are counter-based — fail every Nth grid insert, panic at every
+// Nth realization commit, violate every Nth audit — so chaos runs replay
+// bit-identically and shrink to minimal reproducers.
+//
+// The zero value injects nothing. Wire an Injector through Config.Faults:
+//
+//	cfg := core.DefaultConfig()
+//	inj := &faultinject.Injector{FailInsertEvery: 3}
+//	cfg.Faults = inj
+//
+// Injection fires only on the engine's primary mutation paths, never
+// during transaction rollback: the rollback machinery is the recovery
+// mechanism under test and must observe real grid behavior.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+
+	"mrlegal/internal/design"
+)
+
+// ErrInjected is the sentinel wrapped by every injected insert failure,
+// so tests can tell injected faults from real grid errors.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector implements core.FaultInjector with deterministic counters.
+// A threshold of 0 disables that fault class.
+type Injector struct {
+	// FailInsertEvery makes every Nth occupancy-grid insert fail.
+	FailInsertEvery int
+	// PanicRealizeEvery panics at every Nth realization commit, at the
+	// instant the target is marked placed but not yet in the grid.
+	PanicRealizeEvery int
+	// FailAuditEvery reports an injected violation at every Nth mid-run
+	// invariant audit.
+	FailAuditEvery int
+
+	// Counters of hook invocations, exported for test assertions.
+	Inserts  int
+	Realizes int
+	Audits   int
+
+	// Counters of actually injected faults.
+	InjectedInsertFailures int
+	InjectedPanics         int
+	InjectedAuditFailures  int
+}
+
+// OnGridInsert implements core.FaultInjector.
+func (in *Injector) OnGridInsert(id design.CellID) error {
+	in.Inserts++
+	if in.FailInsertEvery > 0 && in.Inserts%in.FailInsertEvery == 0 {
+		in.InjectedInsertFailures++
+		return fmt.Errorf("%w: grid insert #%d of cell %d", ErrInjected, in.Inserts, id)
+	}
+	return nil
+}
+
+// OnRealize implements core.FaultInjector.
+func (in *Injector) OnRealize(id design.CellID) {
+	in.Realizes++
+	if in.PanicRealizeEvery > 0 && in.Realizes%in.PanicRealizeEvery == 0 {
+		in.InjectedPanics++
+		panic(fmt.Sprintf("faultinject: injected panic at realize commit #%d (cell %d)", in.Realizes, id))
+	}
+}
+
+// OnAudit implements core.FaultInjector.
+func (in *Injector) OnAudit() bool {
+	in.Audits++
+	if in.FailAuditEvery > 0 && in.Audits%in.FailAuditEvery == 0 {
+		in.InjectedAuditFailures++
+		return true
+	}
+	return false
+}

@@ -111,6 +111,43 @@ type (
 	LocalSolver = core.LocalSolver
 )
 
+// Robustness types (see docs/ROBUSTNESS.md).
+type (
+	// Report describes a LegalizeBestEffort run: which cells placed,
+	// which failed and why, and displacement statistics.
+	Report = core.Report
+	// CellFailure names one cell that could not be legalized and the
+	// reason, classified by the error taxonomy below.
+	CellFailure = core.CellFailure
+	// CellError wraps a failure with the cell it concerns; unwraps to
+	// one of the Err* sentinels for errors.Is.
+	CellError = core.CellError
+	// FaultInjector is the hook interface used by chaos tests to inject
+	// deterministic faults into the legalizer's mutation paths (see
+	// internal/faultinject for the standard implementation).
+	FaultInjector = core.FaultInjector
+	// Txn is an open transaction over the design + occupancy grid;
+	// obtained from Legalizer.Begin.
+	Txn = core.Txn
+)
+
+// Error taxonomy. Every per-cell failure recorded in a Report, and every
+// error returned by the Try* mutation methods, unwraps (errors.Is) to one
+// of these sentinels.
+var (
+	ErrCellTooWide      = core.ErrCellTooWide
+	ErrNoInsertionPoint = core.ErrNoInsertionPoint
+	ErrAuditFailed      = core.ErrAuditFailed
+	ErrCanceled         = core.ErrCanceled
+	ErrCellTimeout      = core.ErrCellTimeout
+	ErrFixedCell        = core.ErrFixedCell
+	ErrInvalidWidth     = core.ErrInvalidWidth
+	ErrPanicked         = core.ErrPanicked
+	ErrRoundsExhausted  = core.ErrRoundsExhausted
+	ErrRollbackFailed   = core.ErrRollbackFailed
+	ErrTxnActive        = core.ErrTxnActive
+)
+
 // Verification types.
 type (
 	// Violation is one legality violation.
