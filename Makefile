@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz clean
+.PHONY: check vet build test race fuzz bench-json bench-smoke clean
 
 check: vet build race
 
@@ -23,6 +23,18 @@ race:
 # robustness work; see docs/ROBUSTNESS.md).
 fuzz:
 	$(GO) test ./internal/bookshelf -fuzz FuzzRead -fuzztime 30s
+
+# Regenerate BENCH_parallel.json: the scale-400 Table-1 flow once per
+# worker count (see docs/PERFORMANCE.md). Results depend on the machine;
+# num_cpu/go_max_procs are recorded in the artifact.
+bench-json:
+	$(GO) run ./cmd/mrbench -experiment parallel -scale 400 -workers 1,2,4 \
+		-json BENCH_parallel.json -no-progress
+
+# Quick allocation/latency smoke over the MLL hot path (CI gate).
+bench-smoke:
+	$(GO) test -run xxx -bench 'SingleMLLCall|RegionExtraction|InsertionPointEnumeration' \
+		-benchtime 100x -benchmem .
 
 clean:
 	$(GO) clean ./...

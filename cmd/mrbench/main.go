@@ -7,20 +7,24 @@
 //	mrbench -experiment evalablation                 # approx vs exact (E4)
 //	mrbench -experiment window -bench fft_1          # Rx/Ry sweep (E5)
 //	mrbench -experiment baselines                    # Abacus/greedy (E6)
+//	mrbench -experiment parallel -scale 400 \
+//	        -json BENCH_parallel.json                # worker sweep (docs/PERFORMANCE.md)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"mrlegal/internal/experiments"
+	"mrlegal/internal/profiling"
 )
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
@@ -28,8 +32,17 @@ func main() {
 		seed    = flag.Int64("seed", 0, "seed offset for sensitivity runs")
 		nodes   = flag.Int("ilp-nodes", 0, "branch & bound node cap per local MILP (0 = default)")
 		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
+		workers = flag.String("workers", "", "comma-separated worker counts for -experiment parallel (default \"1,NumCPU\")")
+		jsonOut = flag.String("json", "", "write the parallel experiment's report as JSON to this file instead of a table")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	cfg := experiments.Table1Config{
 		Scale:       *scale,
@@ -70,8 +83,49 @@ func main() {
 	case "scaling":
 		rows := experiments.RunScaling(cfg, *bench, []int{800, 400, 200, 100, 50, 25})
 		experiments.PrintScaling(os.Stdout, *bench, rows)
+	case "parallel":
+		counts, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -workers: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		rep := experiments.RunParallel(cfg, counts)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WriteParallelJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintParallel(os.Stdout, rep)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q\n", *exp)
+		stop()
 		os.Exit(2)
 	}
+}
+
+// parseWorkers parses a comma-separated list of worker counts.
+func parseWorkers(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

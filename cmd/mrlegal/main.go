@@ -24,9 +24,14 @@ import (
 	"mrlegal/internal/ilplegal"
 	"mrlegal/internal/iodesign"
 	"mrlegal/internal/netlist"
+	"mrlegal/internal/profiling"
 	"mrlegal/internal/render"
 	"mrlegal/internal/verify"
 )
+
+// stopProfiles flushes any active profiles; fatal and early exits call it
+// so -cpuprofile/-trace output survives error paths.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -45,8 +50,16 @@ func main() {
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell placement deadline (0 = none)")
 		bestEffort  = flag.Bool("best-effort", false, "place as many cells as possible and report failures instead of aborting")
 		auditEvery  = flag.Int("audit-every", 0, "run a full invariant audit every N placements, rolling back the batch on violation (0 = off)")
+		workers     = flag.Int("workers", 0, "planning goroutines per round (0 = NumCPU, 1 = serial; results are identical either way)")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+	stop, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	var d *design.Design
 	var nl *netlist.Netlist
@@ -85,6 +98,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.CellTimeout = *cellTimeout
 	cfg.AuditEvery = *auditEvery
+	cfg.Workers = *workers
+	cfg.PhaseTiming = !*quiet
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}
 	}
@@ -118,6 +133,7 @@ func main() {
 		for _, v := range vs {
 			fmt.Fprintf(os.Stderr, "mrlegal: VIOLATION %s\n", v)
 		}
+		stopProfiles()
 		os.Exit(2)
 	}
 	if !*quiet {
@@ -129,6 +145,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  ΔHPWL            : %+.3f%%\n", netlist.HPWLDelta(before, after)*100)
 		fmt.Fprintf(os.Stderr, "  direct placements: %d, MLL calls: %d (%d failed), retry rounds: %d\n",
 			st.DirectPlacements, st.MLLCalls, st.MLLFailures, st.RetryRounds)
+		if ph := l.Phases(); ph.Total() > 0 {
+			fmt.Fprintf(os.Stderr, "  MLL phase times  : extract %s, enumerate %s, evaluate %s, realize %s\n",
+				ph.Extract.Round(time.Millisecond), ph.Enumerate.Round(time.Millisecond),
+				ph.Evaluate.Round(time.Millisecond), ph.Realize.Round(time.Millisecond))
+		}
+		if sc := l.SchedCounters(); sc.Dispatched > 0 {
+			fmt.Fprintf(os.Stderr, "  scheduler        : %d dispatched, %d deferred, %d invalidated\n",
+				sc.Dispatched, sc.Deferred, sc.Invalidated)
+		}
 	}
 	if *svg != "" {
 		f, err := os.Create(*svg)
@@ -168,5 +193,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mrlegal: %v\n", err)
+	stopProfiles()
 	os.Exit(1)
 }

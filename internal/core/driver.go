@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
-	"time"
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/verify"
@@ -53,6 +53,14 @@ func (l *Legalizer) LegalizeBestEffort(ctx context.Context) (*Report, error) {
 	return l.run(ctx)
 }
 
+// planTarget is one cell's jittered desired position for a round. The
+// targets of a whole round are drawn from the seeded rng in cell order
+// before any planning starts, so the random stream is identical at every
+// worker count.
+type planTarget struct {
+	tx, ty float64
+}
+
 // runState threads the transactional bookkeeping of one run through the
 // rounds: the open batch transaction, the cells placed since the last
 // commit, and the most recent failure reason per cell.
@@ -64,6 +72,7 @@ type runState struct {
 	lastErr    map[design.CellID]error
 	canceled   bool
 	fatal      error
+	targets    []planTarget // per-round target buffer, reused
 }
 
 // run is the engine shared by the strict and best-effort entry points.
@@ -104,11 +113,7 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 	unplaced = feasible
 
 	l.runCtx = ctx
-	defer func() {
-		l.runCtx = nil
-		l.cellDeadline = time.Time{}
-		l.expired = nil
-	}()
+	defer func() { l.runCtx = nil }()
 
 	t, err := l.Begin()
 	if err != nil {
@@ -163,32 +168,41 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 	}
 	rep.TotalDisp, rep.AvgDisp = l.D.TotalDispSites()
 	rep.Stats = l.stats
+	rep.Phases = l.phases
 	return rep, st.fatal
 }
 
-// placeRound attempts one Algorithm-1 pass over the given cells, round
-// k ≥ 1, and returns the cells that remain unplaced. With EscalateWindow
-// on, late rounds use progressively larger local-region windows so dense
-// instances whose solutions need compaction beyond one window still
-// terminate.
-func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []design.CellID {
-	rx, ry := l.Cfg.Rx, l.Cfg.Ry
-	if l.Cfg.EscalateWindow && k > 4 {
-		scale := 1 + (k-4)/2
-		rx *= scale
-		ry *= scale
+// roundWorkers resolves how many planning workers a round over n cells
+// uses. Cfg.Workers: 1 (or a 1-cell round) is serial; 0 is auto
+// (runtime.NumCPU()); external solvers are always serial because a
+// LocalSolver may carry mutable state the engine cannot shard.
+func (l *Legalizer) roundWorkers(n int) int {
+	w := l.Cfg.Workers
+	if w == 1 || l.Cfg.Solver != nil {
+		return 1
 	}
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// roundTargets fills st.targets with the desired position of every cell
+// for round k, consuming the seeded rng in strict cell order. Round 1
+// uses the input positions and draws nothing, matching Algorithm 1.
+func (l *Legalizer) roundTargets(cells []design.CellID, k, rx, ry int, st *runState) []planTarget {
+	if cap(st.targets) < len(cells) {
+		st.targets = make([]planTarget, len(cells))
+	}
+	st.targets = st.targets[:len(cells)]
 	bounds := l.D.Bounds()
-	var failed []design.CellID
 	for i, id := range cells {
-		if l.runCtx.Err() != nil {
-			st.canceled = true
-			for _, rest := range cells[i:] {
-				st.lastErr[rest] = ErrCanceled
-			}
-			failed = append(failed, cells[i:]...)
-			break
-		}
 		c := l.D.Cell(id)
 		tx, ty := c.GX, c.GY
 		if k > 1 {
@@ -201,13 +215,41 @@ func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []des
 			tx = math.Min(math.Max(tx, float64(bounds.X)), float64(bounds.X2()-c.W))
 			ty = math.Min(math.Max(ty, float64(bounds.Y)), float64(bounds.Y2()-c.H))
 		}
-		if l.Cfg.CellTimeout > 0 {
-			l.cellDeadline = time.Now().Add(l.Cfg.CellTimeout)
-		} else {
-			l.cellDeadline = time.Time{}
+		st.targets[i] = planTarget{tx: tx, ty: ty}
+	}
+	return st.targets
+}
+
+// placeRound attempts one Algorithm-1 pass over the given cells, round
+// k ≥ 1, and returns the cells that remain unplaced. With EscalateWindow
+// on, late rounds use progressively larger local-region windows so dense
+// instances whose solutions need compaction beyond one window still
+// terminate. Rounds with more than one resolved worker plan cells
+// concurrently (see placeRoundParallel); commits always happen in cell
+// order, so both paths produce identical results.
+func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []design.CellID {
+	rx, ry := l.Cfg.Rx, l.Cfg.Ry
+	if l.Cfg.EscalateWindow && k > 4 {
+		scale := 1 + (k-4)/2
+		rx *= scale
+		ry *= scale
+	}
+	targets := l.roundTargets(cells, k, rx, ry, st)
+	if w := l.roundWorkers(len(cells)); w > 1 {
+		return l.placeRoundParallel(cells, targets, rx, ry, w, st)
+	}
+	var failed []design.CellID
+	for i, id := range cells {
+		if l.runCtx.Err() != nil {
+			st.canceled = true
+			for _, rest := range cells[i:] {
+				st.lastErr[rest] = ErrCanceled
+			}
+			failed = append(failed, cells[i:]...)
+			break
 		}
 		err := l.attempt(id, func() error {
-			return l.placeAt(id, tx, ty, rx, ry)
+			return l.placeAt(id, targets[i].tx, targets[i].ty, rx, ry)
 		})
 		if err != nil {
 			st.lastErr[id] = err
@@ -274,23 +316,15 @@ func (l *Legalizer) maybeAudit(st *runState) []design.CellID {
 }
 
 // placeAt tries the fast direct placement at the snapped target position
-// and falls back to MLL with the given window half-extent. It must run
-// inside a transaction boundary (attempt).
+// and falls back to MLL with the given window half-extent, as one
+// plan-then-commit step on the serial scratch. It must run inside a
+// transaction boundary (attempt).
 func (l *Legalizer) placeAt(id design.CellID, tx, ty float64, rx, ry int) error {
-	c := l.D.Cell(id)
-	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
-		l.touch(id)
-		l.D.Place(id, x, y)
-		if err := l.insertGrid(id); err == nil {
-			l.stats.DirectPlacements++
-			l.lastMoved = l.lastMoved[:0]
-			return nil
-		}
-		// Grid inserts are all-or-nothing, so only the design mark needs
-		// undoing before falling back to MLL.
-		l.D.Unplace(id)
-	}
-	return l.mllWindow(id, tx, ty, rx, ry)
+	sc := l.scratchFor()
+	l.planCell(sc, id, tx, ty, rx, ry)
+	err := l.commitPlan(sc)
+	l.mergeScratch(sc)
+	return err
 }
 
 // PlaceCell places the unplaced cell id as close as possible to the

@@ -205,6 +205,53 @@ func TestEnumerateRandomAgainstNaive(t *testing.T) {
 	}
 }
 
+// TestEnumerateSameRegionTwiceIdentical is the regression test for the
+// queue-clearing aliasing hazard: removing a closed interval from a
+// scanline queue with append(q[:i], q[i+1:]...) left stale pointers in the
+// shared backing array, so a second enumeration over the same region could
+// observe intervals from the first. Enumerating repeatedly (and across
+// target shapes) must always reproduce the same set.
+func TestEnumerateSameRegionTwiceIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		nRows := 3 + rng.Intn(3)
+		width := 30 + rng.Intn(20)
+		d := dtest.Flat(nRows, width)
+		g := buildGrid(t, d)
+		// Bias toward multi-row cells: they drive the mid-queue removals.
+		for i := 0; i < 14; i++ {
+			w := 1 + rng.Intn(5)
+			h := 1 + rng.Intn(3)
+			x := rng.Intn(width - w + 1)
+			y := rng.Intn(nRows - h + 1)
+			if g.FreeAt(x, y, w, h) {
+				id := dtest.Placed(d, w, h, x, y)
+				if err := g.Insert(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: width, H: nRows})
+		for ht := 1; ht <= min(3, nRows); ht++ {
+			wt := 1 + rng.Intn(4)
+			first := sortedKeys(r.EnumerateInsertionPoints(wt, ht, nil))
+			for rep := 0; rep < 2; rep++ {
+				again := sortedKeys(r.EnumerateInsertionPoints(wt, ht, nil))
+				if len(again) != len(first) {
+					t.Fatalf("trial %d wt=%d ht=%d: re-enumeration found %d points, first found %d",
+						trial, wt, ht, len(again), len(first))
+				}
+				for i := range again {
+					if again[i] != first[i] {
+						t.Fatalf("trial %d wt=%d ht=%d: sets differ at %d: %q vs %q",
+							trial, wt, ht, i, again[i], first[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEnumerateCommonCutline verifies the invariant that every produced
 // insertion point has a nonempty feasible range contained in all member
 // intervals.

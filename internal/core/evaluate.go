@@ -2,9 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
-
-	"mrlegal/internal/design"
 )
 
 // Evaluation is the outcome of scoring one insertion point: the optimal
@@ -72,53 +69,50 @@ func (r *Region) yCost(y int, ty float64) float64 {
 // contribute critical positions. For a left neighbor i the critical
 // position is x_i + w_i; for a right neighbor j it is x_j − w_t.
 func (r *Region) evaluateApprox(ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
-	var lpts, rpts []float64
-	var seenL, seenR [8]design.CellID // h_t is tiny; fixed-size dedup
+	sc := r.sc
+	lpts, rpts := sc.lpts[:0], sc.rpts[:0]
+	var seenL, seenR [8]int32 // h_t is tiny; fixed-size dedup
 	nl, nr := 0, 0
 	for _, iv := range ip.Intervals {
-		if iv.Left != design.NoCell && !contains(seenL[:nl], iv.Left) {
+		if iv.leftIdx >= 0 && !contains32(seenL[:nl], iv.leftIdx) {
 			if nl < len(seenL) {
-				seenL[nl] = iv.Left
+				seenL[nl] = iv.leftIdx
 				nl++
 			}
-			lc := r.info[iv.Left]
+			lc := &sc.cells[iv.leftIdx]
 			lpts = append(lpts, float64(lc.x+lc.w))
 		}
-		if iv.Right != design.NoCell && !contains(seenR[:nr], iv.Right) {
+		if iv.rightIdx >= 0 && !contains32(seenR[:nr], iv.rightIdx) {
 			if nr < len(seenR) {
-				seenR[nr] = iv.Right
+				seenR[nr] = iv.rightIdx
 				nr++
 			}
-			rc := r.info[iv.Right]
+			rc := &sc.cells[iv.rightIdx]
 			rpts = append(rpts, float64(rc.x-wt))
 		}
 	}
 	lpts = append(lpts, tx)
 	rpts = append(rpts, tx)
+	sc.lpts, sc.rpts = lpts, rpts
 	x, cost := pwlMin(lpts, rpts, ip.Lo, ip.Hi)
 	return Evaluation{X: x, Cost: cost + r.yCost(ip.BottomRow(r), ty), OK: true}
 }
 
-func contains(s []design.CellID, id design.CellID) bool {
-	for _, v := range s {
-		if v == id {
+func contains32(s []int32, v int32) bool {
+	for _, e := range s {
+		if e == v {
 			return true
 		}
 	}
 	return false
 }
 
-// clearances holds the exact minimal clearances (§5.2 critical-position
-// reconstruction) between the target and every transitively pushed cell:
-// kL[u] is how far above x_u the target's left edge must stay to leave u
-// unmoved (a_u = x_u + kL[u]); kR[u] the symmetric right-side value
-// (b_u = x_u − kR[u]).
-type clearances struct {
-	kL, kR map[design.CellID]int
-}
-
-// exactClearances computes the clearances for ip by propagating
-// tight-packing distances outward from the target's gaps:
+// exactClearances computes the minimal clearances (§5.2 critical-position
+// reconstruction) between the target and every transitively pushed cell
+// into the dense scratch tables sc.kL/sc.kR, keyed by local index with -1
+// meaning unreached: kL[u] is how far above x_u the target's left edge
+// must stay to leave u unmoved (a_u = x_u + kL[u]); kR[u] the symmetric
+// right-side value (b_u = x_u − kR[u]). Propagation:
 //
 //	kL_u = w_u + max{ kL_z : z immediate right neighbor of u in the
 //	                  pushed set }          (kL_i = w_i for gap neighbors)
@@ -127,93 +121,99 @@ type clearances struct {
 //
 // Propagation crosses rows through multi-row cells, which is exactly what
 // makes the multi-row problem harder than the single-row one. Cells are
-// visited in x order so every dependency is resolved before use.
-func (r *Region) exactClearances(ip *InsertionPoint, wt int) clearances {
-	idx := make([]map[design.CellID]int, len(r.Segs))
-	for rel := range r.Segs {
-		if !r.Segs[rel].Valid {
-			continue
-		}
-		m := make(map[design.CellID]int, len(r.Segs[rel].Cells))
-		for i, id := range r.Segs[rel].Cells {
-			m[id] = i
-		}
-		idx[rel] = m
-	}
-	order := make([]*localCell, 0, len(r.info))
-	for _, lc := range r.info {
-		order = append(order, lc)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].x != order[j].x {
-			return order[i].x < order[j].x
-		}
-		return order[i].id < order[j].id
-	})
-
-	cl := clearances{kL: make(map[design.CellID]int), kR: make(map[design.CellID]int)}
+// visited in x order (sc.xOrder) so every dependency is resolved before
+// use, and in a deterministic tie-break order so float summation in the
+// downstream evaluation is reproducible.
+func (r *Region) exactClearances(ip *InsertionPoint, wt int) {
+	sc := r.sc
+	n := len(sc.cells)
+	sc.kL = grow(sc.kL, n)
+	sc.kR = grow(sc.kR, n)
+	fill32(sc.kL, -1)
+	fill32(sc.kR, -1)
 	for _, iv := range ip.Intervals {
-		if iv.Left != design.NoCell {
-			lc := r.info[iv.Left]
-			if lc.w > cl.kL[iv.Left] {
-				cl.kL[iv.Left] = lc.w
+		if iv.leftIdx >= 0 {
+			lc := &sc.cells[iv.leftIdx]
+			if w := int32(lc.w); w > sc.kL[iv.leftIdx] {
+				sc.kL[iv.leftIdx] = w
 			}
 		}
-		if iv.Right != design.NoCell {
-			if wt > cl.kR[iv.Right] {
-				cl.kR[iv.Right] = wt
+		if iv.rightIdx >= 0 {
+			if w := int32(wt); w > sc.kR[iv.rightIdx] {
+				sc.kR[iv.rightIdx] = w
 			}
 		}
 	}
 	// Left side: decreasing x; relax immediate left neighbors.
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		ku, ok := cl.kL[u.id]
-		if !ok {
+	for i := n - 1; i >= 0; i-- {
+		ui := sc.xOrder[i]
+		ku := sc.kL[ui]
+		if ku < 0 {
 			continue
 		}
+		u := &sc.cells[ui]
 		for h := 0; h < u.h; h++ {
 			rel := r.RelRow(u.y + h)
-			pos := idx[rel][u.id]
-			if pos == 0 {
+			pos := sc.rowPos[rel][ui]
+			if pos <= 0 {
 				continue
 			}
-			v := r.info[r.Segs[rel].Cells[pos-1]]
-			if kv := ku + v.w; kv > cl.kL[v.id] {
-				cl.kL[v.id] = kv
+			vi := sc.rowIdx[rel][pos-1]
+			if kv := ku + int32(sc.cells[vi].w); kv > sc.kL[vi] {
+				sc.kL[vi] = kv
 			}
 		}
 	}
 	// Right side: increasing x; relax immediate right neighbors.
-	for _, u := range order {
-		ku, ok := cl.kR[u.id]
-		if !ok {
+	for i := 0; i < n; i++ {
+		ui := sc.xOrder[i]
+		ku := sc.kR[ui]
+		if ku < 0 {
 			continue
 		}
+		u := &sc.cells[ui]
 		for h := 0; h < u.h; h++ {
 			rel := r.RelRow(u.y + h)
-			cells := r.Segs[rel].Cells
-			pos := idx[rel][u.id]
-			if pos+1 >= len(cells) {
+			idxs := sc.rowIdx[rel]
+			pos := sc.rowPos[rel][ui]
+			if pos < 0 || int(pos)+1 >= len(idxs) {
 				continue
 			}
-			v := r.info[cells[pos+1]]
-			if kv := ku + u.w; kv > cl.kR[v.id] {
-				cl.kR[v.id] = kv
+			vi := idxs[pos+1]
+			if kv := ku + int32(u.w); kv > sc.kR[vi] {
+				sc.kR[vi] = kv
 			}
 		}
 	}
-	return cl
 }
 
-// points converts clearances to critical-position multisets.
-func (r *Region) points(cl clearances) (lpts, rpts []float64) {
-	for id, k := range cl.kL {
-		lpts = append(lpts, float64(r.info[id].x+k))
+// bothSides reports whether some cell is reachable from both sides of the
+// target, which marks the insertion point geometrically inconsistent.
+func (r *Region) bothSides() bool {
+	sc := r.sc
+	for i := range sc.cells {
+		if sc.kL[i] >= 0 && sc.kR[i] >= 0 {
+			return true
+		}
 	}
-	for id, k := range cl.kR {
-		rpts = append(rpts, float64(r.info[id].x-k))
+	return false
+}
+
+// points converts the clearance tables to critical-position multisets in
+// the reused scratch lists, iterating in local-index (ascending ID) order
+// for reproducible float summation.
+func (r *Region) points() (lpts, rpts []float64) {
+	sc := r.sc
+	lpts, rpts = sc.lpts[:0], sc.rpts[:0]
+	for i := range sc.cells {
+		if k := sc.kL[i]; k >= 0 {
+			lpts = append(lpts, float64(sc.cells[i].x+int(k)))
+		}
+		if k := sc.kR[i]; k >= 0 {
+			rpts = append(rpts, float64(sc.cells[i].x-int(k)))
+		}
 	}
+	sc.lpts, sc.rpts = lpts, rpts
 	return lpts, rpts
 }
 
@@ -223,17 +223,14 @@ func (r *Region) points(cl clearances) (lpts, rpts []float64) {
 // exact method as O(|C_W|) but omits its construction for space; this is
 // our reconstruction (see exactClearances).
 func (r *Region) evaluateExact(ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
-	cl := r.exactClearances(ip, wt)
-	for id := range cl.kL {
-		if _, both := cl.kR[id]; both {
-			// Reachable from both sides ⇒ the insertion point is
-			// geometrically inconsistent; reject it.
-			return Evaluation{}
-		}
+	r.exactClearances(ip, wt)
+	if r.bothSides() {
+		return Evaluation{}
 	}
-	lpts, rpts := r.points(cl)
+	lpts, rpts := r.points()
 	lpts = append(lpts, tx)
 	rpts = append(rpts, tx)
+	r.sc.lpts, r.sc.rpts = lpts, rpts
 	x, cost := pwlMin(lpts, rpts, ip.Lo, ip.Hi)
 	return Evaluation{X: x, Cost: cost + r.yCost(ip.BottomRow(r), ty), OK: true}
 }
@@ -243,15 +240,14 @@ func (r *Region) evaluateExact(ip *InsertionPoint, wt int, tx, ty float64) Evalu
 // deviation from its desired position (tx, ty). Tests use it to validate
 // both evaluators against realized outcomes.
 func (r *Region) ExactCost(ip *InsertionPoint, wt int, x int, tx, ty float64) float64 {
-	cl := r.exactClearances(ip, wt)
-	for id := range cl.kL {
-		if _, both := cl.kR[id]; both {
-			return math.Inf(1)
-		}
+	r.exactClearances(ip, wt)
+	if r.bothSides() {
+		return math.Inf(1)
 	}
-	lpts, rpts := r.points(cl)
+	lpts, rpts := r.points()
 	lpts = append(lpts, tx)
 	rpts = append(rpts, tx)
+	r.sc.lpts, r.sc.rpts = lpts, rpts
 	fx := float64(x)
 	var s float64
 	for _, p := range lpts {

@@ -157,27 +157,29 @@ func TestExactEvalPropagatesThroughMultiRow(t *testing.T) {
 	if gap == nil {
 		t.Fatal("gap (a, m) on row 0 not found")
 	}
-	cl := r.exactClearances(gap, 4)
+	r.exactClearances(gap, 4)
+	kL, kR := r.sc.kL, r.sc.kR
+	ai, bi, mi, ci := r.localIdx(a), r.localIdx(b), r.localIdx(m), r.localIdx(c)
 	// Right side: m direct → kR = 4 (w_t). c through m → kR = 4 + 4 = 8.
-	if cl.kR[m] != 4 {
-		t.Errorf("kR[m] = %d, want 4", cl.kR[m])
+	if kR[mi] != 4 {
+		t.Errorf("kR[m] = %d, want 4", kR[mi])
 	}
-	if cl.kR[c] != 8 {
-		t.Errorf("kR[c] = %d, want 8 (propagated through multi-row m)", cl.kR[c])
+	if kR[ci] != 8 {
+		t.Errorf("kR[c] = %d, want 8 (propagated through multi-row m)", kR[ci])
 	}
 	// Left side: a direct → kL = 4; b through a? b is on row 1, a on row
 	// 0 only — no shared row, no propagation.
-	if cl.kL[a] != 4 {
-		t.Errorf("kL[a] = %d, want 4", cl.kL[a])
+	if kL[ai] != 4 {
+		t.Errorf("kL[a] = %d, want 4", kL[ai])
 	}
-	if _, ok := cl.kL[b]; ok {
-		t.Errorf("kL[b] should be unset (no push path), got %d", cl.kL[b])
+	if kL[bi] >= 0 {
+		t.Errorf("kL[b] should be unset (no push path), got %d", kL[bi])
 	}
 	// b IS left neighbor of m on row 1, so pushing m left would push b;
 	// but m is on the right side here. Confirm b not in kR either (b is
 	// left of m).
-	if _, ok := cl.kR[b]; ok {
-		t.Errorf("kR[b] should be unset, got %d", cl.kR[b])
+	if kR[bi] >= 0 {
+		t.Errorf("kR[b] should be unset, got %d", kR[bi])
 	}
 
 	// Critical positions: b_m = 12-4 = 8, b_c = 26-8 = 18, a_a = 4+4 = 8.

@@ -20,8 +20,8 @@ type LocalCellInfo struct {
 // Info returns the snapshot for a local cell; ok is false when the cell is
 // not local to the region.
 func (r *Region) Info(id design.CellID) (LocalCellInfo, bool) {
-	lc, ok := r.info[id]
-	if !ok {
+	lc := r.local(id)
+	if lc == nil {
 		return LocalCellInfo{}, false
 	}
 	return LocalCellInfo{ID: lc.id, X: lc.x, Y: lc.y, W: lc.w, H: lc.h, XL: lc.xL, XR: lc.xR}, true
@@ -40,19 +40,22 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 	if !ls.Valid || gapIdx < 0 || gapIdx > len(ls.Cells) {
 		return Interval{}, false
 	}
-	iv := Interval{RelRow: rel, GapIdx: gapIdx, Left: design.NoCell, Right: design.NoCell}
+	iv := Interval{RelRow: rel, GapIdx: gapIdx,
+		Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
 	if gapIdx == 0 {
 		iv.Lo = ls.Span.Lo
 	} else {
-		lc := r.info[ls.Cells[gapIdx-1]]
-		iv.Left = lc.id
+		li := r.sc.rowIdx[rel][gapIdx-1]
+		lc := &r.sc.cells[li]
+		iv.Left, iv.leftIdx = lc.id, li
 		iv.Lo = lc.xL + lc.w
 	}
 	if gapIdx == len(ls.Cells) {
 		iv.Hi = ls.Span.Hi - wt
 	} else {
-		rc := r.info[ls.Cells[gapIdx]]
-		iv.Right = rc.id
+		ri := r.sc.rowIdx[rel][gapIdx]
+		rc := &r.sc.cells[ri]
+		iv.Right, iv.rightIdx = rc.id, ri
 		iv.Hi = rc.xR - wt
 	}
 	if iv.Hi < iv.Lo {

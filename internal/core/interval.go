@@ -22,6 +22,12 @@ type Interval struct {
 	// segment boundary).
 	Left, Right design.CellID
 
+	// leftIdx and rightIdx are the local indices of Left/Right within the
+	// region the interval was built for (-1 at a segment boundary). Only
+	// valid against that region; the realization deliberately works from
+	// GapIdx alone so insertion points survive region rebuilds.
+	leftIdx, rightIdx int32
+
 	Lo, Hi int // inclusive bounds for the target cell's x in this gap
 }
 
@@ -30,67 +36,70 @@ func (iv *Interval) Len() int { return iv.Hi - iv.Lo }
 
 // buildIntervals enumerates every non-negative insertion interval in the
 // region for a target cell of width wt, grouped by window-relative row.
+// All intervals live in one scratch slab; the returned per-row views are
+// invalidated by the next build into the same scratch.
 //
 // Per §5.1.1, for a gap between cells i and j on segment r:
 //
 //	lo = xL_i + w_i   (or the segment start when the gap is at the boundary)
 //	hi = xR_j - w_t   (or segment end − w_t at the right boundary)
 func (r *Region) buildIntervals(wt int) [][]Interval {
-	out := make([][]Interval, len(r.Segs))
+	sc := r.sc
+	sc.intervals = sc.intervals[:0]
+	starts := grow(sc.cursor, len(r.Segs)+1)
+	sc.cursor = starts
 	for rel := range r.Segs {
+		starts[rel] = len(sc.intervals)
 		ls := &r.Segs[rel]
 		if !ls.Valid || ls.Span.Len() < wt {
 			continue
 		}
-		n := len(ls.Cells)
-		ivs := make([]Interval, 0, n+1)
+		idxs := sc.rowIdx[rel]
+		n := len(idxs)
 		for k := 0; k <= n; k++ {
-			iv := Interval{RelRow: rel, GapIdx: k, Left: design.NoCell, Right: design.NoCell}
+			iv := Interval{RelRow: rel, GapIdx: k,
+				Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
 			if k == 0 {
 				iv.Lo = ls.Span.Lo
 			} else {
-				lc := r.info[ls.Cells[k-1]]
-				iv.Left = lc.id
+				lc := &sc.cells[idxs[k-1]]
+				iv.Left, iv.leftIdx = lc.id, idxs[k-1]
 				iv.Lo = lc.xL + lc.w
 			}
 			if k == n {
 				iv.Hi = ls.Span.Hi - wt
 			} else {
-				rc := r.info[ls.Cells[k]]
-				iv.Right = rc.id
+				rc := &sc.cells[idxs[k]]
+				iv.Right, iv.rightIdx = rc.id, idxs[k]
 				iv.Hi = rc.xR - wt
 			}
 			if iv.Hi >= iv.Lo {
-				ivs = append(ivs, iv)
+				sc.intervals = append(sc.intervals, iv)
 			}
 		}
-		out[rel] = ivs
 	}
-	return out
+	starts[len(r.Segs)] = len(sc.intervals)
+	// Views (and any *Interval) are taken only now that the slab is final.
+	sc.rowIvs = growOuter(sc.rowIvs, len(r.Segs))
+	for rel := range r.Segs {
+		sc.rowIvs[rel] = sc.intervals[starts[rel]:starts[rel+1]]
+	}
+	return sc.rowIvs
 }
 
-// sideOf reports whether the interval sits left (-1) or right (+1) of
-// multi-row cell m on the interval's row, or 0 when m does not occupy that
-// row. Gap index k ≤ index(m) is left of m; k > index(m) is right.
-func (r *Region) sideOf(iv *Interval, m design.CellID) int {
-	lc := r.info[m]
-	rel := iv.RelRow
-	y := r.AbsRow(rel)
-	if y < lc.y || y >= lc.y+lc.h {
+// sideOf reports whether the interval sits left (-1) or right (+1) of the
+// multi-row local cell with local index mIdx on the interval's row, or 0
+// when that cell does not occupy the row. Gap index k ≤ pos(m) is left of
+// m; k > pos(m) is right.
+func (r *Region) sideOf(iv *Interval, mIdx int32) int {
+	pos := r.sc.rowPos[iv.RelRow][mIdx]
+	if pos < 0 {
 		return 0
 	}
-	cells := r.Segs[rel].Cells
-	// Find m's index on this row. Lists are short; linear scan around the
-	// gap is fine, but a full scan keeps it simple and obviously correct.
-	for idx, id := range cells {
-		if id == m {
-			if iv.GapIdx <= idx {
-				return -1
-			}
-			return +1
-		}
+	if iv.GapIdx <= int(pos) {
+		return -1
 	}
-	return 0
+	return +1
 }
 
 // InsertionPoint is a combination of h_t insertion intervals from h_t
@@ -104,15 +113,28 @@ type InsertionPoint struct {
 // BottomRow returns the absolute row index of the target's bottom edge.
 func (ip *InsertionPoint) BottomRow(r *Region) int { return r.AbsRow(ip.BottomRel) }
 
+// clone deep-copies the insertion point out of enumeration scratch so it
+// stays valid across further enumerations and region rebuilds.
+func (ip *InsertionPoint) clone() *InsertionPoint {
+	c := *ip
+	ivs := make([]Interval, len(ip.Intervals))
+	c.Intervals = make([]*Interval, len(ip.Intervals))
+	for i, iv := range ip.Intervals {
+		ivs[i] = *iv
+		c.Intervals[i] = &ivs[i]
+	}
+	return &c
+}
+
 // validMultiRow checks the §5.1.2 constraint that intervals on opposite
 // sides of a multi-row local cell never form one insertion point: for
 // every multi-row cell spanning several of the insertion point's rows, all
 // its spanned intervals must lie on the same side.
 func (r *Region) validMultiRow(ip *InsertionPoint) bool {
-	for _, m := range r.multiRow {
+	for _, mi := range r.sc.multiRow {
 		side := 0
 		for _, iv := range ip.Intervals {
-			s := r.sideOf(iv, m)
+			s := r.sideOf(iv, mi)
 			if s == 0 {
 				continue
 			}

@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"math"
+	"sync"
 	"time"
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
+	"mrlegal/internal/sched"
 	"mrlegal/internal/segment"
 )
 
@@ -56,6 +58,22 @@ type Config struct {
 	// designs, where rail-parity row bands fragment quickly once
 	// single-row cells land. On.
 	TallFirst bool
+
+	// Workers sets how many goroutines plan MLL calls concurrently during
+	// Legalize rounds. The scheduler (internal/sched) only overlaps cells
+	// whose claims — MLL window plus snapped direct-placement footprint —
+	// are disjoint, and commits strictly in the seeded round order, so the
+	// result is byte-identical for every worker count. 0 means auto
+	// (runtime.NumCPU()); 1 preserves the fully serial behavior. Runs with
+	// an external Solver are always serial (solvers may carry mutable
+	// state).
+	Workers int
+
+	// PhaseTiming enables the per-phase wall-clock breakdown
+	// (extract/enumerate/evaluate/realize) reported via Phases and
+	// Report.Phases. Off by default: the accounting adds time syscalls to
+	// the enumeration hot loop.
+	PhaseTiming bool
 
 	// Solver, when non-nil, replaces the built-in enumerate-and-evaluate
 	// local solver with an external one (the paper's §6 ILP baseline
@@ -109,7 +127,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts legalizer activity, for reporting and benchmarks.
+// Stats counts legalizer activity, for reporting and benchmarks. All
+// fields are pure functions of the input and configuration — never of
+// worker timing — so seeded runs produce identical Stats at every worker
+// count (determinism tests compare them with ==).
 type Stats struct {
 	DirectPlacements int // cells placed with no legalization needed
 	MLLCalls         int
@@ -122,13 +143,24 @@ type Stats struct {
 
 // Legalizer binds a design, its segment grid and a configuration, and
 // offers both full legalization (Algorithm 1) and incremental MLL calls.
+//
+// Concurrency contract: the exported API is single-goroutine — exactly
+// one goroutine may call into a Legalizer at a time. Legalize itself
+// fans planning work out to Cfg.Workers internal goroutines; during such
+// a run, gridMu arbitrates design/grid access (planners hold the read
+// side while snapshotting a region, the coordinator holds the write side
+// while committing) and every counter increment lands in a per-worker
+// scratch shard that only the coordinator merges into stats. No other
+// goroutine may touch the design, the grid or the legalizer while a run
+// is in flight.
 type Legalizer struct {
 	D   *design.Design
 	G   *segment.Grid
 	Cfg Config
 
-	rng   *rng
-	stats Stats
+	rng    *rng
+	stats  Stats
+	phases PhaseTimes
 
 	// lastMoved records the local cells shifted by the most recent
 	// successful realization (excluding the target). Reused buffer.
@@ -137,18 +169,31 @@ type Legalizer struct {
 	// txn is the active transaction, nil outside Begin/Commit windows.
 	txn *Txn
 
-	// runCtx and cellDeadline carry the cancellation state of the current
-	// Legalize run; checkTick rate-limits the time syscalls inside the
-	// enumeration hot loop. expired caches the first cancellation cause
-	// observed for the current cell attempt.
-	runCtx       context.Context
-	cellDeadline time.Time
-	checkTick    int
-	expired      error
+	// sc is the scratch of the serial path (single-cell API calls and
+	// Workers=1 rounds); parallel rounds draw from pool instead.
+	sc   *scratch
+	pool []*scratch
+
+	// gridMu guards design and grid state during parallel rounds:
+	// planners take the read side for the snapshot phase (snap/FreeAt/
+	// ExtractRegion), the coordinator takes the write side for commits,
+	// audits and rollbacks. Serial paths take the (uncontended) read
+	// side too, keeping one code path.
+	gridMu sync.RWMutex
+
+	// runCtx carries the cancellation context of the current Legalize
+	// run. It is set before any planner goroutine starts and cleared
+	// after they all join, so planners may read it without gridMu.
+	runCtx context.Context
 
 	// rowMaxSeg caches the widest segment length per row (segment spans
 	// are static for the life of a grid). Built lazily by widthFits.
 	rowMaxSeg []int
+
+	// schedCounters accumulates the reservation scheduler's activity
+	// across parallel rounds, for observability only (the numbers depend
+	// on worker timing, unlike Stats).
+	schedCounters sched.Counters
 }
 
 // LastMoved returns the cells pushed aside by the most recent successful
@@ -170,6 +215,10 @@ func NewLegalizer(d *design.Design, cfg Config) (*Legalizer, error) {
 // Stats returns a snapshot of activity counters.
 func (l *Legalizer) Stats() Stats { return l.stats }
 
+// Phases returns the per-phase wall-clock breakdown accumulated so far.
+// All-zero unless Cfg.PhaseTiming is on.
+func (l *Legalizer) Phases() PhaseTimes { return l.phases }
+
 // allowRowFn returns the power-rail row filter for master m, or nil when
 // alignment is relaxed.
 func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
@@ -188,20 +237,77 @@ func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
 // runs inside a transaction, so even a panic mid-realization rolls back).
 func (l *Legalizer) MLL(id design.CellID, tx, ty float64) bool {
 	err := l.attempt(id, func() error {
-		return l.mllWindow(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
+		return l.mllAt(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
 	})
 	return err == nil
 }
 
-// mllWindow is MLL with an explicit window half-extent (used by the
-// window-escalation fallback of the driver). It must run inside a
-// transaction boundary (attempt); failures are reported as taxonomy
-// errors and leave undo records for the boundary to unwind.
-func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) error {
-	l.stats.MLLCalls++
+// mllAt plans and realizes an MLL-only placement (no direct-placement
+// fast path) on the serial scratch. It must run inside a transaction
+// boundary (attempt).
+func (l *Legalizer) mllAt(id design.CellID, tx, ty float64, rx, ry int) error {
+	sc := l.scratchFor()
+	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
+	l.resetCancel(sc)
+	l.gridMu.RLock()
+	r := l.extractPlan(sc, id, tx, ty, rx, ry)
+	l.gridMu.RUnlock()
+	l.selectPlan(sc, r, tx, ty)
+	var err error
+	if sc.plan.kind == planFailed {
+		err = sc.plan.err
+	} else {
+		err = l.realizePlan(sc)
+	}
+	l.mergeScratch(sc)
+	return err
+}
+
+// resetCancel arms the scratch's per-attempt cancellation state.
+func (l *Legalizer) resetCancel(sc *scratch) {
+	sc.runCtx = l.runCtx
+	sc.checkTick = 0
+	sc.expired = nil
+	if l.Cfg.CellTimeout > 0 {
+		sc.cellDeadline = time.Now().Add(l.Cfg.CellTimeout)
+	} else {
+		sc.cellDeadline = time.Time{}
+	}
+}
+
+// planCell computes the full placement decision for one cell into
+// sc.plan without mutating any design or grid state: the direct
+// placement probe, then the MLL plan (extract + enumerate + evaluate).
+// Grid reads happen under gridMu's read side, released before the
+// region-local enumeration, so parallel planners only serialize on the
+// snapshot. commitPlan applies the decision.
+func (l *Legalizer) planCell(sc *scratch, id design.CellID, tx, ty float64, rx, ry int) {
+	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
+	l.resetCancel(sc)
+	c := l.D.Cell(id)
+	l.gridMu.RLock()
+	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
+		l.gridMu.RUnlock()
+		sc.plan.kind = planDirect
+		sc.plan.x, sc.plan.y = x, y
+		return
+	}
+	r := l.extractPlan(sc, id, tx, ty, rx, ry)
+	l.gridMu.RUnlock()
+	l.selectPlan(sc, r, tx, ty)
+}
+
+// extractPlan is the grid-reading half of an MLL plan: it snapshots the
+// local region into sc. Callers hold gridMu (either side).
+func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, rx, ry int) *Region {
+	sc.stats.MLLCalls++
 	c := l.D.Cell(id)
 	if c.Placed {
 		panic("core: MLL target must be unplaced")
+	}
+	var t0 time.Time
+	if l.Cfg.PhaseTiming {
+		t0 = time.Now()
 	}
 	xc := int(math.Round(tx))
 	yc := int(math.Round(ty))
@@ -211,18 +317,28 @@ func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) erro
 		W: 2*rx + c.W,
 		H: 2*ry + c.H,
 	}
-	r := ExtractRegion(l.G, win)
-	// Thread the transaction and fault hooks into the realization.
-	r.onTouch = l.touch
-	r.insertFn = l.insertGrid
-	if l.Cfg.Faults != nil {
-		r.onRealize = l.Cfg.Faults.OnRealize
+	r := sc.extract(l.G, win)
+	if l.Cfg.PhaseTiming {
+		sc.phases.Extract += time.Since(t0)
 	}
+	return r
+}
+
+// selectPlan is the region-local half of an MLL plan: it chooses the
+// best insertion point (or records the failure) from the snapshot alone,
+// without touching the grid, so it runs outside gridMu.
+func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
+	c := l.D.Cell(sc.plan.id)
+	var t0 time.Time
+	if l.Cfg.PhaseTiming {
+		t0 = time.Now()
+	}
+	evalBefore := sc.phases.Evaluate
 	var ip *InsertionPoint
 	var x int
 	if l.Cfg.Solver != nil {
 		var ok bool
-		ip, x, ok = l.Cfg.Solver.SelectInsertionPoint(r, c, tx, ty, l.allowRowFn(l.D.MasterOf(id)))
+		ip, x, ok = l.Cfg.Solver.SelectInsertionPoint(r, c, tx, ty, l.allowRowFn(l.D.MasterOf(c.ID)))
 		if !ok {
 			ip = nil
 		}
@@ -231,23 +347,87 @@ func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) erro
 		ip, ev = l.bestInsertionPoint(r, c, tx, ty)
 		x = ev.X
 	}
-	if ip == nil {
-		l.stats.MLLFailures++
-		if l.expired != nil {
-			// Enumeration was cut short by cancellation, not exhausted.
-			return l.expired
-		}
-		return ErrNoInsertionPoint
+	if l.Cfg.PhaseTiming {
+		sc.phases.Enumerate += time.Since(t0) - (sc.phases.Evaluate - evalBefore)
 	}
-	moved, err := r.Realize(ip, x, id)
+	if ip == nil {
+		sc.stats.MLLFailures++
+		sc.plan.kind = planFailed
+		if sc.expired != nil {
+			// Enumeration was cut short by cancellation, not exhausted.
+			sc.plan.err = sc.expired
+		} else {
+			sc.plan.err = ErrNoInsertionPoint
+		}
+		return
+	}
+	sc.plan.kind = planMLL
+	sc.plan.ip = ip
+	sc.plan.ipX = x
+}
+
+// commitPlan applies a computed plan, mutating design and grid. It must
+// run inside a transaction boundary (attempt); during parallel rounds
+// the coordinator additionally holds gridMu's write side. The direct
+// placement retries as an inline MLL when the grid insert fails (fault
+// injection is the only such path — the planned slot was probed free).
+func (l *Legalizer) commitPlan(sc *scratch) error {
+	p := &sc.plan
+	switch p.kind {
+	case planFailed:
+		return p.err
+	case planDirect:
+		id := p.id
+		l.touch(id)
+		l.D.Place(id, p.x, p.y)
+		if err := l.insertGrid(id); err == nil {
+			sc.stats.DirectPlacements++
+			l.lastMoved = l.lastMoved[:0]
+			return nil
+		}
+		// Grid inserts are all-or-nothing, so only the design mark needs
+		// undoing before falling back to MLL.
+		l.D.Unplace(id)
+		r := l.extractPlan(sc, id, p.tx, p.ty, p.rx, p.ry)
+		l.selectPlan(sc, r, p.tx, p.ty)
+		if sc.plan.kind == planFailed {
+			return sc.plan.err
+		}
+		return l.realizePlan(sc)
+	case planMLL:
+		return l.realizePlan(sc)
+	}
+	return nil
+}
+
+// realizePlan commits a planMLL decision: it re-wires the transaction
+// and fault hooks into the snapshot region and realizes the chosen
+// insertion point.
+func (l *Legalizer) realizePlan(sc *scratch) error {
+	p := &sc.plan
+	r := &sc.region
+	r.onTouch = l.touch
+	r.insertFn = l.insertGrid
+	r.onRealize = nil
+	if l.Cfg.Faults != nil {
+		r.onRealize = l.Cfg.Faults.OnRealize
+	}
+	var t0 time.Time
+	if l.Cfg.PhaseTiming {
+		t0 = time.Now()
+	}
+	moved, err := r.Realize(p.ip, p.ipX, p.id)
+	if l.Cfg.PhaseTiming {
+		sc.phases.Realize += time.Since(t0)
+	}
 	if err != nil {
 		// Should not happen for enumerated insertion points; the
 		// transaction boundary unwinds any partial realization state.
-		l.stats.MLLFailures++
+		sc.stats.MLLFailures++
 		return err
 	}
-	l.stats.MLLSuccesses++
-	l.stats.CellsPushed += int64(len(moved))
+	sc.stats.MLLSuccesses++
+	sc.stats.CellsPushed += int64(len(moved))
 	l.lastMoved = append(l.lastMoved[:0], moved...)
 	return nil
 }
@@ -255,24 +435,24 @@ func (l *Legalizer) mllWindow(id design.CellID, tx, ty float64, rx, ry int) erro
 // cancelCheck is polled inside the enumeration hot loop (rate-limited to
 // one time syscall per 256 insertion points). It reports whether the
 // current cell attempt should be abandoned and caches the cause in
-// l.expired.
-func (l *Legalizer) cancelCheck() bool {
-	if l.expired != nil {
+// sc.expired.
+func (sc *scratch) cancelCheck() bool {
+	if sc.expired != nil {
 		return true
 	}
-	if l.runCtx == nil && l.cellDeadline.IsZero() {
+	if sc.runCtx == nil && sc.cellDeadline.IsZero() {
 		return false
 	}
-	l.checkTick++
-	if l.checkTick&255 != 0 {
+	sc.checkTick++
+	if sc.checkTick&255 != 0 {
 		return false
 	}
-	if l.runCtx != nil && l.runCtx.Err() != nil {
-		l.expired = ErrCanceled
+	if sc.runCtx != nil && sc.runCtx.Err() != nil {
+		sc.expired = ErrCanceled
 		return true
 	}
-	if !l.cellDeadline.IsZero() && time.Now().After(l.cellDeadline) {
-		l.expired = ErrCellTimeout
+	if !sc.cellDeadline.IsZero() && time.Now().After(sc.cellDeadline) {
+		sc.expired = ErrCellTimeout
 		return true
 	}
 	return false
@@ -313,31 +493,64 @@ func (l *Legalizer) widthFits(m *design.Master, w, h int) bool {
 }
 
 // bestInsertionPoint enumerates and evaluates insertion points for target
-// cell c in region r, returning the best (nil when none exists).
+// cell c in region r, returning the best (nil when none exists). The
+// returned insertion point is copied into the scratch's retained slot,
+// surviving the enumeration that produced it.
 func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64) (*InsertionPoint, Evaluation) {
+	sc := r.sc
 	m := l.D.MasterOf(c.ID)
 	allow := l.allowRowFn(m)
-	var best *InsertionPoint
+	timing := l.Cfg.PhaseTiming
 	var bestEv Evaluation
+	found := false
 	n := 0
 	r.enumerate(c.W, c.H, allow, func(ip *InsertionPoint) bool {
 		var ev Evaluation
-		if l.Cfg.ExactEval {
-			ev = r.evaluateExact(ip, c.W, tx, ty)
+		if timing {
+			t0 := time.Now()
+			ev = l.evaluate(r, ip, c.W, tx, ty)
+			sc.phases.Evaluate += time.Since(t0)
 		} else {
-			ev = r.evaluateApprox(ip, c.W, tx, ty)
+			ev = l.evaluate(r, ip, c.W, tx, ty)
 		}
 		n++
-		if ev.OK && (best == nil || better(ev, bestEv)) {
-			best, bestEv = ip, ev
+		if ev.OK && (!found || better(ev, bestEv)) {
+			found = true
+			bestEv = ev
+			sc.retainBest(ip)
 		}
-		if l.cancelCheck() {
+		if sc.cancelCheck() {
 			return false
 		}
 		return l.Cfg.MaxInsertionPoints == 0 || n < l.Cfg.MaxInsertionPoints
 	})
-	l.stats.InsertionPoints += int64(n)
-	return best, bestEv
+	sc.stats.InsertionPoints += int64(n)
+	if !found {
+		return nil, Evaluation{}
+	}
+	return &sc.bestIP, bestEv
+}
+
+// evaluate scores one insertion point with the configured evaluator.
+func (l *Legalizer) evaluate(r *Region, ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
+	if l.Cfg.ExactEval {
+		return r.evaluateExact(ip, wt, tx, ty)
+	}
+	return r.evaluateApprox(ip, wt, tx, ty)
+}
+
+// retainBest copies the (scratch-reused) yielded insertion point into the
+// scratch's stable best slot.
+func (sc *scratch) retainBest(ip *InsertionPoint) {
+	sc.bestIvs = sc.bestIvs[:0]
+	for _, iv := range ip.Intervals {
+		sc.bestIvs = append(sc.bestIvs, *iv)
+	}
+	sc.bestPtrs = sc.bestPtrs[:0]
+	for i := range sc.bestIvs {
+		sc.bestPtrs = append(sc.bestPtrs, &sc.bestIvs[i])
+	}
+	sc.bestIP = InsertionPoint{BottomRel: ip.BottomRel, Intervals: sc.bestPtrs, Lo: ip.Lo, Hi: ip.Hi}
 }
 
 // better orders evaluations: lower cost wins; ties break deterministically

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/sched"
+)
+
+// This file implements the region-parallel round driver. The shape of the
+// computation:
+//
+//	coordinator ──dispatch──▶ workers (planCell: snap/FreeAt/extract under
+//	     ▲                      gridMu.RLock, then enumerate+evaluate)
+//	     └──────results──────◀─┘
+//
+// The coordinator owns the sched.Board and applies plans in strict round
+// order under gridMu's write side, so every design/grid mutation — direct
+// inserts, realizations, audits, rollbacks — happens exactly as in the
+// serial driver. Workers only ever compute plans for cells whose claims
+// are disjoint from every earlier unapplied claim; the package comment of
+// internal/sched spells out why that makes the run byte-identical to
+// Workers=1.
+//
+// Audit rollbacks invalidate speculation: the generation counter is
+// bumped, buffered and in-flight plans are discarded with their stats
+// shards zeroed (so only work the serial driver would also have done is
+// counted), and the affected cells are re-planned against the restored
+// state.
+
+// planTask hands one cell index to a worker together with the scratch it
+// must plan into; ownership of the scratch transfers with the channel
+// send and returns to the coordinator with the result.
+type planTask struct {
+	idx int
+	gen uint64
+	sc  *scratch
+}
+
+// planResult returns a planned scratch to the coordinator.
+type planResult struct {
+	idx int
+	gen uint64
+	sc  *scratch
+}
+
+// claimFor computes the 2-D reservation of one round cell: the union
+// bounding box of its MLL window and its snapped direct-placement
+// footprint (the snap position depends only on static row data, so it is
+// computable before any planning). Every grid read that can influence the
+// cell's plan, and every write its commit can make, falls inside this
+// box; see the internal/sched package comment for the argument.
+func (l *Legalizer) claimFor(id design.CellID, tx, ty float64, rx, ry int) sched.Claim {
+	c := l.D.Cell(id)
+	xc := int(math.Round(tx))
+	yc := int(math.Round(ty))
+	cl := sched.Claim{
+		X0: xc - rx, X1: xc + rx + c.W,
+		Y0: yc - ry, Y1: yc + ry + c.H,
+	}
+	if x, y, ok := l.snap(c, tx, ty); ok {
+		cl.X0 = min(cl.X0, x)
+		cl.X1 = max(cl.X1, x+c.W)
+		cl.Y0 = min(cl.Y0, y)
+		cl.Y1 = max(cl.Y1, y+c.H)
+	}
+	return cl
+}
+
+// scratchPool returns l.pool grown to n entries.
+func (l *Legalizer) scratchPool(n int) []*scratch {
+	for len(l.pool) < n {
+		l.pool = append(l.pool, newScratch())
+	}
+	return l.pool[:n]
+}
+
+// placeRoundParallel is placeRound's plan-in-parallel, commit-in-order
+// engine. cells and targets are parallel slices in round order.
+func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarget, rx, ry, workers int, st *runState) []design.CellID {
+	n := len(cells)
+	lookahead := workers * 4
+	if lookahead > n {
+		lookahead = n
+	}
+	claims := make([]sched.Claim, n)
+	for i, id := range cells {
+		claims[i] = l.claimFor(id, targets[i].tx, targets[i].ty, rx, ry)
+	}
+	board := sched.NewBoard(claims, lookahead)
+
+	pool := append([]*scratch(nil), l.scratchPool(lookahead)...)
+	// Task capacity matches the pool: a dispatch always finds channel
+	// space, so the coordinator never blocks while holding results.
+	tasks := make(chan planTask, lookahead)
+	results := make(chan planResult, lookahead)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				l.planCell(t.sc, cells[t.idx], targets[t.idx].tx, targets[t.idx].ty, rx, ry)
+				results <- planResult{idx: t.idx, gen: t.gen, sc: t.sc}
+			}
+		}()
+	}
+
+	var (
+		gen      uint64
+		inFlight int
+		buffered = make(map[int]*scratch, lookahead)
+		failed   []design.CellID
+		halted   bool // canceled or fatal: stop applying, drain, exit
+	)
+	discard := func(sc *scratch) {
+		// Speculative work the serial driver never did: drop its stats
+		// shard so counters stay byte-identical across worker counts.
+		sc.stats = Stats{}
+		sc.phases = PhaseTimes{}
+		pool = append(pool, sc)
+	}
+	invalidateOutstanding := func() {
+		gen++
+		for idx, sc := range buffered {
+			board.Undispatch(idx)
+			discard(sc)
+			delete(buffered, idx)
+		}
+		// In-flight plans come back carrying the old generation and are
+		// discarded (and re-queued) on receipt.
+	}
+	applyHead := func() {
+		i := board.Head()
+		sc := buffered[i]
+		delete(buffered, i)
+		id := cells[i]
+		if l.runCtx.Err() != nil {
+			st.canceled = true
+			halted = true
+			for _, rest := range cells[i:] {
+				st.lastErr[rest] = ErrCanceled
+			}
+			failed = append(failed, cells[i:]...)
+			discard(sc)
+			board.Applied(i)
+			return
+		}
+		l.gridMu.Lock()
+		err := l.attempt(id, func() error { return l.commitPlan(sc) })
+		var rolled []design.CellID
+		if err == nil {
+			st.batch = append(st.batch, id)
+			st.sinceAudit++
+			rolled = l.maybeAudit(st)
+		}
+		l.gridMu.Unlock()
+		l.mergeScratch(sc)
+		pool = append(pool, sc)
+		board.Applied(i)
+		if err != nil {
+			st.lastErr[id] = err
+			failed = append(failed, id)
+			return
+		}
+		if len(rolled) > 0 {
+			failed = append(failed, rolled...)
+			// The rollback rewrote state inside already-applied claims;
+			// every outstanding plan may be stale. Invalidate them all.
+			invalidateOutstanding()
+		}
+		if st.fatal != nil {
+			halted = true
+			failed = append(failed, cells[i+1:]...)
+		}
+	}
+
+	for !board.Done() {
+		if halted {
+			break
+		}
+		// Apply every plan that is ready at the frontier.
+		if _, ok := buffered[board.Head()]; ok {
+			applyHead()
+			continue
+		}
+		// Dispatch as much as scratches and the horizon allow.
+		dispatched := false
+		for len(pool) > 0 {
+			i, ok := board.Next()
+			if !ok {
+				break
+			}
+			sc := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			inFlight++
+			tasks <- planTask{idx: i, gen: gen, sc: sc}
+			dispatched = true
+		}
+		if _, ok := buffered[board.Head()]; ok {
+			continue
+		}
+		if inFlight == 0 {
+			if dispatched {
+				continue
+			}
+			// Unreachable by construction: the head is always eligible
+			// and pool+buffered+inFlight partition the scratches, so no
+			// progress implies the head plan is buffered or in flight.
+			panic("core: parallel round stalled")
+		}
+		res := <-results
+		inFlight--
+		if res.gen != gen {
+			board.Undispatch(res.idx)
+			discard(res.sc)
+			continue
+		}
+		buffered[res.idx] = res.sc
+	}
+
+	// Wind down: close the task channel (workers drain what is buffered
+	// and exit) and receive every outstanding result.
+	close(tasks)
+	for inFlight > 0 {
+		res := <-results
+		inFlight--
+		discard(res.sc)
+	}
+	wg.Wait()
+	for _, sc := range buffered {
+		discard(sc)
+	}
+
+	if ctr := board.Counters(); ctr.Dispatched > 0 {
+		l.schedCounters.Dispatched += ctr.Dispatched
+		l.schedCounters.Deferred += ctr.Deferred
+		l.schedCounters.Invalidated += ctr.Invalidated
+	}
+	return failed
+}
+
+// SchedCounters returns the cumulative scheduler activity of parallel
+// rounds (zero for serial runs). Unlike Stats, these depend on worker
+// timing and are only for observability.
+func (l *Legalizer) SchedCounters() sched.Counters { return l.schedCounters }

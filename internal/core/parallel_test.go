@@ -1,0 +1,181 @@
+package core_test
+
+// Equivalence and chaos tests for the region-parallel driver: whatever
+// worker count is configured, a seeded run must be byte-identical to the
+// serial one — placements, stats, failure sets and verifier output.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/design"
+	"mrlegal/internal/faultinject"
+	"mrlegal/internal/gp"
+	"mrlegal/internal/verify"
+)
+
+// placementSnapshot serializes every cell's placement state.
+func placementSnapshot(d *design.Design) []byte {
+	var buf bytes.Buffer
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		fmt.Fprintf(&buf, "%d %d %d %v %v\n", c.ID, c.X, c.Y, c.Placed, c.Orient)
+	}
+	return buf.Bytes()
+}
+
+// runOutcome captures everything the equivalence tests compare.
+type runOutcome struct {
+	placement  []byte
+	stats      core.Stats
+	failures   string
+	violations string
+	rounds     int
+	audits     int
+	rollbacks  int
+}
+
+func legalizeWithWorkers(t *testing.T, d *design.Design, cfg core.Config, workers int) runOutcome {
+	t.Helper()
+	cfg.Workers = workers
+	l, err := core.NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.LegalizeBestEffort(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.G.CheckConsistency(); err != nil {
+		t.Fatalf("workers=%d: grid inconsistent: %v", workers, err)
+	}
+	if workers > 1 && l.SchedCounters().Dispatched == 0 {
+		t.Fatalf("workers=%d: scheduler never dispatched; parallel path not exercised", workers)
+	}
+	var fails bytes.Buffer
+	for _, f := range rep.Failed {
+		fmt.Fprintf(&fails, "%s\n", f)
+	}
+	var viols bytes.Buffer
+	for _, v := range verify.Check(d, verify.Options{
+		RequirePlaced:  len(rep.Failed) == 0,
+		PowerAlignment: cfg.PowerAlign,
+	}, 0) {
+		fmt.Fprintf(&viols, "%s\n", v)
+	}
+	return runOutcome{
+		placement:  placementSnapshot(d),
+		stats:      l.Stats(),
+		failures:   fails.String(),
+		violations: viols.String(),
+		rounds:     rep.Rounds,
+		audits:     rep.AuditRuns,
+		rollbacks:  rep.AuditRollbacks,
+	}
+}
+
+func assertOutcomesEqual(t *testing.T, name string, serial, parallel runOutcome, workers int) {
+	t.Helper()
+	if !bytes.Equal(serial.placement, parallel.placement) {
+		t.Errorf("%s: placements differ between Workers=1 and Workers=%d", name, workers)
+	}
+	if serial.stats != parallel.stats {
+		t.Errorf("%s: stats differ between Workers=1 and Workers=%d:\n%+v\n%+v",
+			name, workers, serial.stats, parallel.stats)
+	}
+	if serial.failures != parallel.failures {
+		t.Errorf("%s: failure sets differ:\nserial:\n%sworkers=%d:\n%s",
+			name, serial.failures, workers, parallel.failures)
+	}
+	if serial.violations != parallel.violations {
+		t.Errorf("%s: verify.Check results differ:\nserial:\n%sworkers=%d:\n%s",
+			name, serial.violations, workers, parallel.violations)
+	}
+	if serial.rounds != parallel.rounds || serial.audits != parallel.audits || serial.rollbacks != parallel.rollbacks {
+		t.Errorf("%s: report counters differ: serial (rounds %d, audits %d, rollbacks %d) vs workers=%d (rounds %d, audits %d, rollbacks %d)",
+			name, serial.rounds, serial.audits, serial.rollbacks,
+			workers, parallel.rounds, parallel.audits, parallel.rollbacks)
+	}
+}
+
+// TestParallelMatchesSerialOnTable1 runs every Table-1 benchmark (scaled
+// down) through the full generate → global-place → legalize flow with
+// Workers=1 and Workers=4 and requires fully legal, byte-identical
+// outcomes with identical verifier output.
+func TestParallelMatchesSerialOnTable1(t *testing.T) {
+	scale := 1500
+	if testing.Short() {
+		scale = 4000
+	}
+	for _, spec := range bengen.Table1Specs(scale) {
+		t.Run(spec.Name, func(t *testing.T) {
+			b := bengen.Generate(spec)
+			gp.Place(b.D, b.NL, gp.Config{Seed: spec.Seed})
+			cfg := core.DefaultConfig()
+			cfg.Seed = 3
+			serial := legalizeWithWorkers(t, b.D.Clone(), cfg, 1)
+			par := legalizeWithWorkers(t, b.D.Clone(), cfg, 4)
+			assertOutcomesEqual(t, spec.Name, serial, par, 4)
+			if serial.failures != "" {
+				t.Errorf("benchmark not fully placed:\n%s", serial.failures)
+			}
+			if serial.violations != "" {
+				t.Errorf("legalized design has violations:\n%s", serial.violations)
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismAcrossWorkerCounts sweeps worker counts on one
+// denser instance with audits enabled, so the invalidation path (audit
+// rollback → generation bump → re-plan) is exercised too.
+func TestParallelDeterminismAcrossWorkerCounts(t *testing.T) {
+	b := bengen.Generate(bengen.Spec{Name: "par-det", NumCells: 700, Density: 0.7, Seed: 21})
+	cfg := core.DefaultConfig()
+	cfg.Seed = 9
+	cfg.AuditEvery = 23
+	serial := legalizeWithWorkers(t, b.D.Clone(), cfg, 1)
+	for _, workers := range []int{2, 4, 7} {
+		par := legalizeWithWorkers(t, b.D.Clone(), cfg, workers)
+		assertOutcomesEqual(t, "par-det", serial, par, workers)
+	}
+}
+
+// TestParallelChaosMatchesSerial is the parallel arm of the chaos suite:
+// insert failures, realize panics and audit violations at co-prime
+// periods, under multiple worker counts. Faults fire during commits, which
+// happen in seeded order on the coordinator, so even the injected fault
+// sequence — and therefore the whole run — must match the serial one.
+func TestParallelChaosMatchesSerial(t *testing.T) {
+	b := bengen.Generate(bengen.Spec{Name: "par-chaos", NumCells: 400, Density: 0.6, Seed: 11})
+	run := func(workers int) (runOutcome, *faultinject.Injector) {
+		cfg := core.DefaultConfig()
+		cfg.AuditEvery = 17
+		inj := &faultinject.Injector{FailInsertEvery: 13, PanicRealizeEvery: 29, FailAuditEvery: 5}
+		cfg.Faults = inj
+		return legalizeWithWorkers(t, b.D.Clone(), cfg, workers), inj
+	}
+	serial, _ := run(1)
+	for _, workers := range []int{3, 4} {
+		par, inj := run(workers)
+		if inj.InjectedInsertFailures == 0 || inj.InjectedPanics == 0 || inj.InjectedAuditFailures == 0 {
+			t.Fatalf("workers=%d: not all fault classes fired: %+v", workers, inj)
+		}
+		assertOutcomesEqual(t, "par-chaos", serial, par, workers)
+	}
+}
+
+// TestWorkersAutoSelection pins the documented Config.Workers semantics:
+// 0 resolves to NumCPU, 1 is serial, and a Solver forces serial planning.
+func TestWorkersAutoSelection(t *testing.T) {
+	b := bengen.Generate(bengen.Spec{Name: "auto", NumCells: 200, Density: 0.5, Seed: 4})
+	cfg := core.DefaultConfig()
+	cfg.Seed = 2
+	serial := legalizeWithWorkers(t, b.D.Clone(), cfg, 1)
+	auto := legalizeWithWorkers(t, b.D.Clone(), cfg, 0)
+	assertOutcomesEqual(t, "auto", serial, auto, 0)
+}

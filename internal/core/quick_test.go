@@ -72,14 +72,14 @@ func TestLeftRightPackingQuick(t *testing.T) {
 			curL := ls.Span.Lo
 			curR := ls.Span.Hi
 			for _, id := range ls.Cells {
-				lc := r.info[id]
+				lc := r.local(id)
 				if lc.xL < curL {
 					return false
 				}
 				curL = lc.xL + lc.w
 			}
 			for i := len(ls.Cells) - 1; i >= 0; i-- {
-				lc := r.info[ls.Cells[i]]
+				lc := r.local(ls.Cells[i])
 				if lc.xR+lc.w > curR {
 					return false
 				}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"mrlegal/internal/design"
 )
@@ -12,14 +13,18 @@ import (
 // pushes propagating across rows through multi-row cells. The insertion
 // point must have been produced by the enumeration and x must lie in
 // [ip.Lo, ip.Hi], which together guarantee the pushes stay inside the
-// local segments.
+// local segments. The insertion point is consumed through its row and
+// GapIdx coordinates only, so clones built against an equivalent region
+// remain usable.
 //
 // On success it commits all position changes to the design and the
-// segment grid, places the target, and returns the cells that moved.
+// segment grid, places the target, and returns the cells that moved (in
+// deterministic push-discovery order).
 func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]design.CellID, error) {
 	if x < ip.Lo || x > ip.Hi {
 		return nil, fmt.Errorf("core: realize x=%d outside insertion point range [%d,%d]", x, ip.Lo, ip.Hi)
 	}
+	sc := r.sc
 	d := r.D
 	tc := d.Cell(target)
 	if tc.Placed {
@@ -27,102 +32,126 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 	}
 	yBot := ip.BottomRow(r)
 
-	// Insert the target into each row's local list at its gap.
-	tinfo := &localCell{id: target, x: x, y: yBot, w: tc.W, h: tc.H}
-	r.info[target] = tinfo
-	defer delete(r.info, target)
-	for k, iv := range ip.Intervals {
+	// Register the target as a temporary local cell. It is appended past
+	// the sorted ID prefix (localIdx scans the tail linearly) and inserted
+	// into the row lists at each interval's gap; the row position tables of
+	// the affected rows are recomputed to cover it.
+	tIdx := int32(len(sc.cells))
+	sc.ids = append(sc.ids, target)
+	sc.cells = append(sc.cells, localCell{id: target, x: x, y: yBot, w: tc.W, h: tc.H})
+	n := len(sc.cells)
+	refreshRow := func(rel int) {
+		idxs := sc.rowIdx[rel]
+		lst := slices.Grow(sc.rowLists[rel][:0], len(idxs))
+		for _, li := range idxs {
+			lst = append(lst, sc.ids[li])
+		}
+		sc.rowLists[rel] = lst
+		r.Segs[rel].Cells = lst
+		pos := sc.rowPos[rel]
+		if cap(pos) < n {
+			pos = make([]int32, n)
+		}
+		pos = pos[:n]
+		fill32(pos, -1)
+		for p, li := range idxs {
+			pos[li] = int32(p)
+		}
+		sc.rowPos[rel] = pos
+	}
+	for k := range ip.Intervals {
 		rel := ip.BottomRel + k
-		_ = iv
-		cells := r.Segs[rel].Cells
 		g := ip.Intervals[k].GapIdx
-		cells = append(cells, design.NoCell)
-		copy(cells[g+1:], cells[g:])
-		cells[g] = target
-		r.Segs[rel].Cells = cells
+		idxs := slices.Insert(sc.rowIdx[rel], g, tIdx)
+		sc.rowIdx[rel] = idxs
+		refreshRow(rel)
 	}
 	restore := func() {
+		sc.ids = sc.ids[:tIdx]
+		sc.cells = sc.cells[:tIdx]
+		n = len(sc.cells)
 		for k := range ip.Intervals {
 			rel := ip.BottomRel + k
-			cells := r.Segs[rel].Cells
 			g := ip.Intervals[k].GapIdx
-			r.Segs[rel].Cells = append(cells[:g], cells[g+1:]...)
+			sc.rowIdx[rel] = slices.Delete(sc.rowIdx[rel], g, g+1)
+			refreshRow(rel)
 		}
-	}
-
-	// Index each cell's position per row for O(1) neighbor lookup.
-	idx := make([]map[design.CellID]int, len(r.Segs))
-	for rel := range r.Segs {
-		if !r.Segs[rel].Valid {
-			continue
-		}
-		m := make(map[design.CellID]int, len(r.Segs[rel].Cells))
-		for i, id := range r.Segs[rel].Cells {
-			m[id] = i
-		}
-		idx[rel] = m
 	}
 
 	// A cell can be re-pushed through different rows, so re-enqueueing is
 	// allowed; the budget bounds the (theoretically impossible) runaway.
-	budget := (len(r.info) + 2) * 8 * len(r.Segs)
-	moved := make(map[design.CellID]bool)
+	budget := (n + 2) * 8 * len(r.Segs)
+	mark := grow(sc.movedMark, n)
+	for i := range mark {
+		mark[i] = false
+	}
+	sc.movedMark = mark
+	movedList := sc.movedList[:0]
 
 	// Left pass.
-	queue := []design.CellID{target}
-	for len(queue) > 0 {
+	queue := append(sc.queue[:0], tIdx)
+	for qi := 0; qi < len(queue); qi++ {
 		if budget--; budget < 0 {
+			sc.queue, sc.movedList = queue, movedList
 			restore()
 			return nil, fmt.Errorf("core: realize left push did not converge (insertion point inconsistent)")
 		}
-		u := r.info[queue[0]]
-		queue = queue[1:]
+		u := &sc.cells[queue[qi]]
 		for h := 0; h < u.h; h++ {
 			rel := r.RelRow(u.y + h)
-			pos := idx[rel][u.id]
-			if pos == 0 {
+			pos := sc.rowPos[rel][queue[qi]]
+			if pos <= 0 {
 				continue
 			}
-			v := r.info[r.Segs[rel].Cells[pos-1]]
+			vi := sc.rowIdx[rel][pos-1]
+			v := &sc.cells[vi]
 			if v.x+v.w > u.x {
 				v.x = u.x - v.w
-				moved[v.id] = true
-				queue = append(queue, v.id)
+				if !mark[vi] {
+					mark[vi] = true
+					movedList = append(movedList, vi)
+				}
+				queue = append(queue, vi)
 			}
 		}
 	}
 	// Right pass.
-	queue = append(queue[:0], target)
-	for len(queue) > 0 {
+	queue = append(queue[:0], tIdx)
+	for qi := 0; qi < len(queue); qi++ {
 		if budget--; budget < 0 {
+			sc.queue, sc.movedList = queue, movedList
 			restore()
 			return nil, fmt.Errorf("core: realize right push did not converge (insertion point inconsistent)")
 		}
-		u := r.info[queue[0]]
-		queue = queue[1:]
+		u := &sc.cells[queue[qi]]
 		for h := 0; h < u.h; h++ {
 			rel := r.RelRow(u.y + h)
-			cells := r.Segs[rel].Cells
-			pos := idx[rel][u.id]
-			if pos+1 >= len(cells) {
+			idxs := sc.rowIdx[rel]
+			pos := sc.rowPos[rel][queue[qi]]
+			if pos < 0 || int(pos)+1 >= len(idxs) {
 				continue
 			}
-			v := r.info[cells[pos+1]]
+			vi := idxs[pos+1]
+			v := &sc.cells[vi]
 			if v.x < u.x+u.w {
 				v.x = u.x + u.w
-				moved[v.id] = true
-				queue = append(queue, v.id)
+				if !mark[vi] {
+					mark[vi] = true
+					movedList = append(movedList, vi)
+				}
+				queue = append(queue, vi)
 			}
 		}
 	}
+	sc.queue, sc.movedList = queue, movedList
 
 	// Validate that pushes stayed inside the local segments (guaranteed
 	// by construction of Lo/Hi; cheap to confirm).
-	for id := range moved {
-		lc := r.info[id]
+	for _, li := range movedList {
+		lc := &sc.cells[li]
 		if lc.x < lc.xL || lc.x > lc.xR {
 			restore()
-			return nil, fmt.Errorf("core: realize pushed cell %d to x=%d outside its feasible range [%d,%d]", id, lc.x, lc.xL, lc.xR)
+			return nil, fmt.Errorf("core: realize pushed cell %d to x=%d outside its feasible range [%d,%d]", lc.id, lc.x, lc.xL, lc.xR)
 		}
 	}
 
@@ -130,14 +159,15 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 	// list is preserved by the push passes, so ShiftX suffices. Every cell
 	// is announced to the transaction layer before its first mutation, so
 	// a failure (or injected panic) anywhere below rolls back cleanly.
-	out := make([]design.CellID, 0, len(moved))
-	for id := range moved {
-		if id == target {
+	out := make([]design.CellID, 0, len(movedList))
+	for _, li := range movedList {
+		if li == tIdx {
 			continue
 		}
-		r.touch(id)
-		r.G.ShiftX(id, r.info[id].x)
-		out = append(out, id)
+		lc := &sc.cells[li]
+		r.touch(lc.id)
+		r.G.ShiftX(lc.id, lc.x)
+		out = append(out, lc.id)
 	}
 	r.touch(target)
 	d.Place(target, x, yBot)

@@ -152,7 +152,7 @@ func TestRealizeMatchesExactEvaluation(t *testing.T) {
 
 		// Snapshot positions, realize, measure.
 		before := make(map[design.CellID]int)
-		for id := range r.info {
+		for _, id := range r.LocalCells() {
 			before[id] = d.Cell(id).X
 		}
 		tgt := dtest.Unplaced(d, wt, ht, tx, ty)

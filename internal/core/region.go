@@ -7,11 +7,16 @@
 //	window → ExtractRegion (§2.1.3) → leftmost/rightmost placement and
 //	insertion intervals (§5.1.1) → scanline enumeration of valid insertion
 //	points (§5.1.3) → evaluation (§5.2) → realization (§5.3, Algorithm 2).
+//
+// All intermediate state of one pipeline instance lives in a scratch
+// struct: the driver reuses one scratch per worker, so a warmed-up MLL
+// call performs almost no heap allocation.
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
@@ -34,13 +39,19 @@ type LocalSeg struct {
 	Valid bool
 	Span  geom.Span // local segment extent (subset of one grid segment)
 	// Cells overlapping this row inside Span, ordered by x. All entries
-	// are local cells.
+	// are local cells. The backing array is owned by the region's scratch
+	// and is invalidated by the next extraction into the same scratch.
 	Cells []design.CellID
 }
 
 // Region is an extracted local legalization problem: the window, the
 // chosen local segment per row, and the local cells (cells completely
 // contained in the local segments, all free to shift horizontally).
+//
+// A region is a pure snapshot: after extraction, enumeration and
+// evaluation read only region-local state, never the grid or design —
+// this is what lets the parallel driver plan regions concurrently while
+// the coordinator commits elsewhere.
 type Region struct {
 	D   *design.Design
 	G   *segment.Grid
@@ -50,11 +61,11 @@ type Region struct {
 	// absolute row Win.Y+i.
 	Segs []LocalSeg
 
-	// info maps each local cell to its region-local state.
-	info map[design.CellID]*localCell
-	// multiRow lists the local cells spanning more than one row, used by
-	// insertion-point validity checks.
-	multiRow []design.CellID
+	// sc owns all local-cell storage: the sorted ID list, the dense
+	// localCell slice it indexes, per-row cell/index lists and the
+	// position tables. Local cells are addressed by their "local index",
+	// the position of their ID in sc.ids.
+	sc *scratch
 
 	// onTouch, when non-nil, is invoked with a cell ID immediately before
 	// the cell's design or grid state is mutated; the legalizer wires it
@@ -85,17 +96,36 @@ func (r *Region) insertCell(id design.CellID) error {
 	return r.G.Insert(id)
 }
 
+// localIdx returns the local index of cell id, or -1 when the cell is not
+// local. The sorted prefix of sc.ids is binary-searched; the (at most
+// one) unsorted tail entry — the realization target — is scanned.
+func (r *Region) localIdx(id design.CellID) int {
+	sc := r.sc
+	if i, ok := slices.BinarySearch(sc.ids[:sc.sortedIDs], id); ok {
+		return i
+	}
+	for j := sc.sortedIDs; j < len(sc.ids); j++ {
+		if sc.ids[j] == id {
+			return j
+		}
+	}
+	return -1
+}
+
+// local returns the localCell state for id, or nil when not local.
+func (r *Region) local(id design.CellID) *localCell {
+	if i := r.localIdx(id); i >= 0 {
+		return &r.sc.cells[i]
+	}
+	return nil
+}
+
 // NumLocalCells returns the number of local cells |C_W|.
-func (r *Region) NumLocalCells() int { return len(r.info) }
+func (r *Region) NumLocalCells() int { return len(r.sc.ids) }
 
 // LocalCells returns the IDs of all local cells in ascending ID order.
 func (r *Region) LocalCells() []design.CellID {
-	out := make([]design.CellID, 0, len(r.info))
-	for id := range r.info {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(r.sc.ids)
 }
 
 // RelRow converts an absolute row index to a window-relative one.
@@ -104,7 +134,10 @@ func (r *Region) RelRow(y int) int { return y - r.Win.Y }
 // AbsRow converts a window-relative row index to an absolute one.
 func (r *Region) AbsRow(rel int) int { return rel + r.Win.Y }
 
-// ExtractRegion builds the local region for the given window (§2.1.3).
+// ExtractRegion builds the local region for the given window (§2.1.3)
+// into a fresh scratch, so the returned region stays valid independently
+// of later extractions. The legalizer's internal callers use
+// scratch.extract directly to reuse buffers.
 //
 // Cells not completely inside the window are non-local. Each window row is
 // divided by blockages, segment boundaries and non-local cells into free
@@ -114,57 +147,65 @@ func (r *Region) AbsRow(rel int) int { return rel + r.Win.Y }
 // so the division iterates to a fixpoint (this is how cells like i and c
 // in Figure 3 end up non-local despite being inside the window).
 func ExtractRegion(g *segment.Grid, win geom.Rect) *Region {
+	return newScratch().extract(g, win)
+}
+
+// extract is ExtractRegion into this scratch's reusable storage. The
+// returned region aliases the scratch; the next extract invalidates it.
+func (sc *scratch) extract(g *segment.Grid, win geom.Rect) *Region {
 	d := g.Design()
 	// Clip the window vertically to existing rows; x is left as-is, the
 	// per-segment intersection below handles horizontal clipping.
 	yLo := max(win.Y, 0)
 	yHi := min(win.Y2(), d.NumRows())
 	win = geom.Rect{X: win.X, Y: yLo, W: win.W, H: yHi - yLo}
-	r := &Region{
-		D:    d,
-		G:    g,
-		Win:  win,
-		info: make(map[design.CellID]*localCell),
-	}
+	r := &sc.region
+	*r = Region{D: d, G: g, Win: win, sc: sc}
+	sc.ids = sc.ids[:0]
+	sc.cells = sc.cells[:0]
+	sc.multiRow = sc.multiRow[:0]
+	sc.candidates = sc.candidates[:0]
+	sc.sortedIDs = 0
+	clear(sc.nonLocal)
 	if win.Empty() {
+		r.Segs = nil
 		return r
 	}
 	winSpan := geom.Span{Lo: win.X, Hi: win.X2()}
 
-	all := g.CellsIn(win, nil)
-	nonLocal := make(map[design.CellID]bool)
-	candidates := make([]design.CellID, 0, len(all))
-	for _, id := range all {
+	sc.all = g.CellsIn(win, sc.all[:0])
+	for _, id := range sc.all {
 		c := d.Cell(id)
 		if c.Fixed || !win.Contains(c.Rect()) {
-			nonLocal[id] = true
+			sc.nonLocal[id] = true
 		} else {
-			candidates = append(candidates, id)
+			sc.candidates = append(sc.candidates, id)
 		}
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	slices.Sort(sc.candidates)
 
 	centerX := win.X + win.W/2
-	r.Segs = make([]LocalSeg, win.H)
+	sc.segs = grow(sc.segs, win.H)
+	r.Segs = sc.segs
 	for {
 		// Divide each window row into free runs and choose the run
 		// closest to the window centre.
 		for rel := 0; rel < win.H; rel++ {
 			y := win.Y + rel
-			r.Segs[rel] = chooseLocalSeg(g, d, y, winSpan, nonLocal, centerX)
+			r.Segs[rel] = chooseLocalSeg(g, d, y, winSpan, sc.nonLocal, centerX)
 		}
 		// Demote cells that are not fully inside the chosen local
 		// segments of every row they span.
 		changed := false
-		for _, id := range candidates {
-			if nonLocal[id] {
+		for _, id := range sc.candidates {
+			if sc.nonLocal[id] {
 				continue
 			}
 			c := d.Cell(id)
 			for h := 0; h < c.H; h++ {
 				ls := &r.Segs[r.RelRow(c.Y+h)]
 				if !ls.Valid || !ls.Span.Contains(geom.Span{Lo: c.X, Hi: c.X + c.W}) {
-					nonLocal[id] = true
+					sc.nonLocal[id] = true
 					changed = true
 					break
 				}
@@ -175,36 +216,70 @@ func ExtractRegion(g *segment.Grid, win geom.Rect) *Region {
 		}
 	}
 
-	// Populate the per-row local cell lists and the cell info table.
-	for _, id := range candidates {
-		if nonLocal[id] {
+	// Populate the dense local-cell table (candidates are ID-sorted, so
+	// the local index order is the ID order).
+	for _, id := range sc.candidates {
+		if sc.nonLocal[id] {
 			continue
 		}
 		c := d.Cell(id)
-		r.info[id] = &localCell{id: id, x: c.X, y: c.Y, w: c.W, h: c.H}
+		sc.ids = append(sc.ids, id)
+		sc.cells = append(sc.cells, localCell{id: id, x: c.X, y: c.Y, w: c.W, h: c.H})
 		if c.H > 1 {
-			r.multiRow = append(r.multiRow, id)
+			sc.multiRow = append(sc.multiRow, int32(len(sc.ids)-1))
 		}
 	}
+	sc.sortedIDs = len(sc.ids)
+	n := len(sc.ids)
+
+	// Per-row cell lists (IDs and local indices, sorted by x) and the
+	// inverse position table. Each list keeps one slot of headroom so the
+	// realization's temporary target insert never reallocates.
+	sc.rowLists = growOuter(sc.rowLists, win.H)
+	sc.rowIdx = growOuter(sc.rowIdx, win.H)
+	sc.rowPos = growOuter(sc.rowPos, win.H)
 	for rel := range r.Segs {
 		ls := &r.Segs[rel]
-		if !ls.Valid {
-			continue
-		}
-		for _, id := range candidates {
-			if _, ok := r.info[id]; !ok {
-				continue
+		idxs := sc.rowIdx[rel][:0]
+		if ls.Valid {
+			for li := range sc.cells {
+				lc := &sc.cells[li]
+				if lc.y <= ls.Row && ls.Row < lc.y+lc.h {
+					idxs = append(idxs, int32(li))
+				}
 			}
-			c := d.Cell(id)
-			if c.Y <= ls.Row && ls.Row < c.Y+c.H {
-				ls.Cells = append(ls.Cells, id)
-			}
+			slices.SortFunc(idxs, func(a, b int32) int {
+				return cmp.Compare(sc.cells[a].x, sc.cells[b].x)
+			})
 		}
-		cells := ls.Cells
-		sort.Slice(cells, func(i, j int) bool { return d.Cell(cells[i]).X < d.Cell(cells[j]).X })
+		idxs = slices.Grow(idxs, 1)
+		lst := slices.Grow(sc.rowLists[rel][:0], len(idxs)+1)
+		for _, li := range idxs {
+			lst = append(lst, sc.ids[li])
+		}
+		sc.rowIdx[rel], sc.rowLists[rel] = idxs, lst
+		ls.Cells = lst
+
+		pos := grow(sc.rowPos[rel], n)
+		fill32(pos, -1)
+		for p, li := range idxs {
+			pos[li] = int32(p)
+		}
+		sc.rowPos[rel] = pos
 	}
 	r.computeBounds()
 	return r
+}
+
+// growOuter resizes a slice-of-slices to length n while keeping every
+// previously grown inner slice (and its capacity) reusable.
+func growOuter[T any](s [][]T, n int) [][]T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([][]T, n)
+	copy(out, s[:cap(s)])
+	return out
 }
 
 // chooseLocalSeg divides row y inside winSpan by blockages/segment
@@ -271,49 +346,58 @@ func spanDist(sp geom.Span, x int) int {
 // computeBounds fills in the leftmost and rightmost placements xL/xR of
 // every local cell (§5.1.1) with a two-pass multi-segment squeeze. Cells
 // are processed in ascending current-x order, which is consistent with the
-// per-segment order because the current placement is legal.
+// per-segment order because the current placement is legal. The (x, id)
+// order is kept in sc.xOrder for the exact evaluator to reuse.
 func (r *Region) computeBounds() {
-	order := make([]*localCell, 0, len(r.info))
-	for _, lc := range r.info {
-		order = append(order, lc)
+	sc := r.sc
+	n := len(sc.cells)
+	sc.xOrder = grow(sc.xOrder, n)
+	for i := range sc.xOrder {
+		sc.xOrder[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].x != order[j].x {
-			return order[i].x < order[j].x
+	slices.SortFunc(sc.xOrder, func(a, b int32) int {
+		ca, cb := &sc.cells[a], &sc.cells[b]
+		if ca.x != cb.x {
+			return cmp.Compare(ca.x, cb.x)
 		}
-		return order[i].id < order[j].id
+		return cmp.Compare(ca.id, cb.id)
 	})
-	cursor := make([]int, len(r.Segs))
+	sc.cursor = grow(sc.cursor, len(r.Segs))
 	for rel := range r.Segs {
 		if r.Segs[rel].Valid {
-			cursor[rel] = r.Segs[rel].Span.Lo
+			sc.cursor[rel] = r.Segs[rel].Span.Lo
+		} else {
+			sc.cursor[rel] = 0
 		}
 	}
-	for _, lc := range order {
-		xl := cursor[r.RelRow(lc.y)]
+	for _, li := range sc.xOrder {
+		lc := &sc.cells[li]
+		xl := sc.cursor[r.RelRow(lc.y)]
 		for h := 1; h < lc.h; h++ {
-			xl = max(xl, cursor[r.RelRow(lc.y+h)])
+			xl = max(xl, sc.cursor[r.RelRow(lc.y+h)])
 		}
 		lc.xL = xl
 		for h := 0; h < lc.h; h++ {
-			cursor[r.RelRow(lc.y+h)] = xl + lc.w
+			sc.cursor[r.RelRow(lc.y+h)] = xl + lc.w
 		}
 	}
 	for rel := range r.Segs {
 		if r.Segs[rel].Valid {
-			cursor[rel] = r.Segs[rel].Span.Hi
+			sc.cursor[rel] = r.Segs[rel].Span.Hi
+		} else {
+			sc.cursor[rel] = 0
 		}
 	}
-	for i := len(order) - 1; i >= 0; i-- {
-		lc := order[i]
+	for i := n - 1; i >= 0; i-- {
+		lc := &sc.cells[sc.xOrder[i]]
 		xr := int(^uint(0) >> 1) // MaxInt
 		for h := 0; h < lc.h; h++ {
 			rel := r.RelRow(lc.y + h)
-			xr = min(xr, cursor[rel]-lc.w)
+			xr = min(xr, sc.cursor[rel]-lc.w)
 		}
 		lc.xR = xr
 		for h := 0; h < lc.h; h++ {
-			cursor[r.RelRow(lc.y+h)] = xr
+			sc.cursor[r.RelRow(lc.y+h)] = xr
 		}
 	}
 }
@@ -321,7 +405,8 @@ func (r *Region) computeBounds() {
 // checkBounds validates xL ≤ x ≤ xR for every local cell; the input
 // placement being legal guarantees it. Used by tests and debug mode.
 func (r *Region) checkBounds() error {
-	for _, lc := range r.info {
+	for i := range r.sc.cells {
+		lc := &r.sc.cells[i]
 		if lc.xL > lc.x || lc.x > lc.xR {
 			return fmt.Errorf("core: cell %d bounds xL=%d x=%d xR=%d inconsistent", lc.id, lc.xL, lc.x, lc.xR)
 		}

@@ -110,7 +110,7 @@ func TestExtractRegionFixpointDemotion(t *testing.T) {
 	// Row 0's chosen piece [40,190) contains mr, row 1 too... so mr stays
 	// local here. Force the demotion with an additional splitter that cuts
 	// row 1 between mr and the center.
-	if _, ok := r.info[mr]; !ok {
+	if r.local(mr) == nil {
 		t.Fatalf("mr should be local in the permissive window")
 	}
 
@@ -128,7 +128,7 @@ func TestExtractRegionFixpointDemotion(t *testing.T) {
 	// Row 1 pieces: [10,60) and [100,190); center=100 → right piece chosen.
 	// mr2 (rows 0-1, x ∈ [44,50)) is not inside row 1's chosen piece →
 	// demoted to non-local → row 0 re-divides around it.
-	if _, ok := r2.info[mr2]; ok {
+	if r2.local(mr2) != nil {
 		t.Fatal("mr2 should have been demoted to non-local")
 	}
 	// Row 0 pieces after demotion: [40,44) and [50,190) → right chosen.
@@ -146,7 +146,7 @@ func TestLeftmostRightmostSingleRow(t *testing.T) {
 	b := dtest.Placed(d, 5, 1, 40, 0)
 	g := buildGrid(t, d)
 	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 100, H: 1})
-	ia, ib := r.info[a], r.info[b]
+	ia, ib := r.local(a), r.local(b)
 	if ia.xL != 0 || ib.xL != 5 {
 		t.Errorf("leftmost: a=%d b=%d, want 0,5", ia.xL, ib.xL)
 	}
@@ -168,17 +168,17 @@ func TestLeftmostRightmostMultiRowCoupling(t *testing.T) {
 	r := ExtractRegion(g, geom.Rect{X: 0, Y: 0, W: 100, H: 2})
 	// Leftmost: a → 0; b → 0; m must clear both a (ends 10) and b (ends 8):
 	// xL_m = 10.
-	if got := r.info[m].xL; got != 10 {
+	if got := r.local(m).xL; got != 10 {
 		t.Errorf("xL(m) = %d, want 10", got)
 	}
 	// Rightmost: m → min(100,100)−6 = 94; a ≤ 94−10=84; b ≤ 94−8=86.
-	if got := r.info[m].xR; got != 94 {
+	if got := r.local(m).xR; got != 94 {
 		t.Errorf("xR(m) = %d, want 94", got)
 	}
-	if got := r.info[a].xR; got != 84 {
+	if got := r.local(a).xR; got != 84 {
 		t.Errorf("xR(a) = %d, want 84", got)
 	}
-	if got := r.info[b].xR; got != 86 {
+	if got := r.local(b).xR; got != 86 {
 		t.Errorf("xR(b) = %d, want 86", got)
 	}
 }

@@ -49,6 +49,12 @@ type Report struct {
 	// Stats is the legalizer activity-counter snapshot at the end of the
 	// run.
 	Stats Stats
+
+	// Phases is the per-phase wall-clock breakdown of the run's MLL work
+	// (all-zero unless Config.PhaseTiming is on). It lives outside Stats
+	// because wall-clock durations are never run-to-run comparable, while
+	// Stats is compared with == by determinism tests.
+	Phases PhaseTimes
 }
 
 // FailureFor returns the recorded failure for a cell, if any.

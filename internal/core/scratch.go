@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"mrlegal/internal/design"
+)
+
+// PhaseTimes breaks one legalization run's MLL work down by pipeline
+// phase. It is collected only when Config.PhaseTiming is on and lives
+// outside Stats so the deterministic activity counters stay comparable
+// across runs with == (wall-clock durations never are).
+type PhaseTimes struct {
+	Extract   time.Duration // ExtractRegion (§2.1.3 fixpoint + bounds)
+	Enumerate time.Duration // scanline insertion-point enumeration (§5.1.3)
+	Evaluate  time.Duration // insertion-point scoring (§5.2)
+	Realize   time.Duration // push-propagation commits (§5.3)
+}
+
+func (p *PhaseTimes) add(o PhaseTimes) {
+	p.Extract += o.Extract
+	p.Enumerate += o.Enumerate
+	p.Evaluate += o.Evaluate
+	p.Realize += o.Realize
+}
+
+// Total returns the summed phase time.
+func (p PhaseTimes) Total() time.Duration {
+	return p.Extract + p.Enumerate + p.Evaluate + p.Realize
+}
+
+type planKind uint8
+
+const (
+	planNone   planKind = iota
+	planDirect          // snapped position is free; commit inserts directly
+	planMLL             // insertion point chosen; commit realizes it
+	planFailed          // plan-phase taxonomy error; commit just reports it
+)
+
+// plan is the outcome of the pure planning phase for one cell: everything
+// the commit phase needs to mutate the design, or the error to report.
+// The region and insertion point live in the owning scratch.
+type plan struct {
+	id     design.CellID
+	tx, ty float64
+	rx, ry int
+	kind   planKind
+	x, y   int             // planDirect: snapped position
+	ip     *InsertionPoint // planMLL: chosen insertion point (scratch-backed)
+	ipX    int             // planMLL: target x
+	err    error           // planFailed: reason
+}
+
+// scratch owns every reusable buffer of one MLL pipeline instance:
+// region storage, enumeration slabs, evaluation scratch and realization
+// queues, plus the per-attempt cancellation state and the stats shard.
+//
+// Concurrency contract: a scratch belongs to exactly one goroutine at a
+// time. The serial driver uses the legalizer's own scratch; the parallel
+// driver hands each planning task a scratch from a pool and transfers
+// ownership to the coordinator together with the plan (the channel send
+// is the synchronization point). Stats accumulate in the shard and are
+// merged into Legalizer.stats only by the goroutine that owns the
+// legalizer, so the hot path needs no atomics.
+type scratch struct {
+	region Region
+
+	// --- region extraction ---
+	all        []design.CellID        // window cell collection buffer
+	nonLocal   map[design.CellID]bool // demoted cells; cleared per extract
+	candidates []design.CellID        // movable fully-contained cells, by ID
+	ids        []design.CellID        // local cells, ascending ID; local index = position
+	cells      []localCell            // parallel to ids
+	sortedIDs  int                    // ids[:sortedIDs] is sorted; Realize appends its target past it
+	multiRow   []int32                // local indices of cells with h > 1
+	segs       []LocalSeg             // backing for Region.Segs
+	rowLists   [][]design.CellID      // per-row cell lists backing LocalSeg.Cells
+	rowIdx     [][]int32              // per-row local indices, parallel to rowLists
+	rowPos     [][]int32              // rowPos[rel][li] = position of local cell li in row rel, -1 when absent
+	xOrder     []int32                // local indices sorted by (x, id)
+	cursor     []int                  // computeBounds per-row cursor
+
+	// --- enumeration ---
+	intervals []Interval   // interval slab; stable once enumeration starts
+	rowIvs    [][]Interval // per-row views into the slab
+	events    []event
+	queues    [][]*Interval // flat hW×hW queue matrix Q[a][s]
+	combo     []*Interval
+	yieldIP   InsertionPoint // reused per-yield insertion point (Intervals aliases combo)
+	bestIvs   []Interval     // interval copies of the retained best insertion point
+	bestPtrs  []*Interval
+	bestIP    InsertionPoint
+
+	// --- evaluation ---
+	lpts, rpts []float64
+	kL, kR     []int32 // dense clearances by local index; -1 = unreached
+
+	// --- realization ---
+	queue     []int32 // push-propagation work queue of local indices
+	movedMark []bool  // by local index
+	movedList []int32
+
+	// --- per-attempt plan, stats shard, phase timing ---
+	plan   plan
+	stats  Stats
+	phases PhaseTimes
+
+	// --- per-attempt cancellation state (was on Legalizer; moved here so
+	// concurrent planners poll independent deadlines) ---
+	runCtx       context.Context
+	cellDeadline time.Time
+	checkTick    int
+	expired      error
+}
+
+func newScratch() *scratch {
+	sc := &scratch{nonLocal: make(map[design.CellID]bool)}
+	sc.region.sc = sc
+	return sc
+}
+
+// scratchFor returns the legalizer's serial-path scratch, creating it on
+// first use.
+func (l *Legalizer) scratchFor() *scratch {
+	if l.sc == nil {
+		l.sc = newScratch()
+	}
+	return l.sc
+}
+
+// mergeScratch folds the scratch's stats shard and phase times into the
+// legalizer totals and clears the shard. Only the goroutine owning the
+// legalizer (the serial caller, or the parallel coordinator) calls this.
+func (l *Legalizer) mergeScratch(sc *scratch) {
+	s, d := &sc.stats, &l.stats
+	d.DirectPlacements += s.DirectPlacements
+	d.MLLCalls += s.MLLCalls
+	d.MLLSuccesses += s.MLLSuccesses
+	d.MLLFailures += s.MLLFailures
+	d.InsertionPoints += s.InsertionPoints
+	d.CellsPushed += s.CellsPushed
+	d.RetryRounds += s.RetryRounds
+	sc.stats = Stats{}
+	l.phases.add(sc.phases)
+	sc.phases = PhaseTimes{}
+}
+
+// grow returns s resized to length n, reusing capacity.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// fill32 sets every element of s to v.
+func fill32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}

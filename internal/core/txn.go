@@ -192,7 +192,6 @@ func (l *Legalizer) attempt(id design.CellID, fn func() error) (err error) {
 		owned = true
 	}
 	mark := t.Mark()
-	l.expired = nil // fresh cancellation state per attempt
 	defer func() {
 		if p := recover(); p != nil {
 			err = l.cellErr(id, fmt.Errorf("%w: %v", ErrPanicked, p))

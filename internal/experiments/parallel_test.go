@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunParallelSmoke(t *testing.T) {
+	cfg := tinyCfg()
+	rep := RunParallel(cfg, []int{1, 3})
+	if got := rep.WorkerCounts; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("worker counts = %v, want [1 3]", got)
+	}
+	if len(rep.Benches) != 2 {
+		t.Fatalf("benches = %d, want 2", len(rep.Benches))
+	}
+	for _, b := range rep.Benches {
+		if len(b.Runs) != 2 {
+			t.Fatalf("%s: runs = %d", b.Name, len(b.Runs))
+		}
+		serial := b.Runs[0]
+		for i, r := range b.Runs {
+			if r.Err != "" || !r.Legal {
+				t.Fatalf("%s workers=%d: %+v", b.Name, r.Workers, r)
+			}
+			if r.WallSeconds <= 0 || r.AllocsPerCell <= 0 {
+				t.Fatalf("%s workers=%d: missing measurements %+v", b.Name, r.Workers, r)
+			}
+			// The driver is deterministic across worker counts, so the
+			// quality metric must match the serial run exactly.
+			if r.AvgDispSites != serial.AvgDispSites {
+				t.Fatalf("%s: displacement differs across worker counts: %v vs %v",
+					b.Name, r.AvgDispSites, serial.AvgDispSites)
+			}
+			if i > 0 && r.SchedDispatched == 0 {
+				t.Fatalf("%s workers=%d: scheduler never dispatched", b.Name, r.Workers)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteParallelJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	PrintParallel(&buf, rep) // must not panic on a populated report
+}

@@ -1,0 +1,89 @@
+// Package profiling wires the standard pprof and execution-trace flags
+// into a command, so every binary exposes the same observability surface
+// (-cpuprofile, -memprofile, -trace; see docs/PERFORMANCE.md).
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the registered profiling destinations.
+type Flags struct {
+	CPU   *string
+	Mem   *string
+	Trace *string
+}
+
+// Register installs -cpuprofile, -memprofile and -trace on fs.
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem:   fs.String("memprofile", "", "write a heap profile to this file on exit"),
+		Trace: fs.String("trace", "", "write a runtime execution trace to this file"),
+	}
+}
+
+// Start begins CPU profiling and execution tracing as requested. The
+// returned stop function is idempotent; it ends both and writes the heap
+// profile, so call it on every exit path (including before os.Exit).
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuF, traceF *os.File
+	if *f.CPU != "" {
+		if cpuF, err = os.Create(*f.CPU); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	if *f.Trace != "" {
+		if traceF, err = os.Create(*f.Trace); err != nil {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, err
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+		if *f.Mem != "" {
+			mf, err := os.Create(*f.Mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			mf.Close()
+		}
+	}, nil
+}

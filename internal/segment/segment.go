@@ -10,6 +10,7 @@ package segment
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"mrlegal/internal/design"
@@ -256,9 +257,10 @@ func (g *Grid) FreeAt(x, y, w, h int) bool {
 
 // CellsIn appends to dst the distinct cells whose occupied area intersects
 // the window rectangle, and returns dst. Cells are reported once even when
-// they span several rows of the window.
+// they span several rows of the window, in ascending ID order. Passing a
+// reused buffer as dst makes the call allocation-free once warm.
 func (g *Grid) CellsIn(win geom.Rect, dst []design.CellID) []design.CellID {
-	seen := make(map[design.CellID]bool)
+	base := len(dst)
 	for y := win.Y; y < win.Y2(); y++ {
 		for _, s := range g.RowSegments(y) {
 			if !s.Span.Overlaps(geom.Span{Lo: win.X, Hi: win.X2()}) {
@@ -273,14 +275,16 @@ func (g *Grid) CellsIn(win geom.Rect, dst []design.CellID) []design.CellID {
 				if g.cellX(id) >= win.X2() {
 					break
 				}
-				if !seen[id] {
-					seen[id] = true
-					dst = append(dst, id)
-				}
+				dst = append(dst, id)
 			}
 		}
 	}
-	return dst
+	// Multi-row cells were collected once per spanned row; sort-and-compact
+	// dedups without a per-call map.
+	tail := dst[base:]
+	slices.Sort(tail)
+	tail = slices.Compact(tail)
+	return dst[:base+len(tail)]
 }
 
 // RebuildOccupancy clears every cell list and re-inserts all placed
