@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench-json bench-smoke clean
+.PHONY: check vet build test race fuzz fuzz-search bench-json bench-smoke clean
 
 check: vet build race
 
@@ -24,12 +24,21 @@ race:
 fuzz:
 	$(GO) test ./internal/bookshelf -fuzz FuzzRead -fuzztime 30s
 
-# Regenerate BENCH_parallel.json: the scale-400 Table-1 flow once per
-# worker count (see docs/PERFORMANCE.md). Results depend on the machine;
-# num_cpu/go_max_procs are recorded in the artifact.
+# Short fuzz session over the best-first-vs-exhaustive search equivalence
+# property (docs/PERFORMANCE.md §5).
+fuzz-search:
+	$(GO) test ./internal/core -run FuzzBestFirstMatchesExhaustive \
+		-fuzz FuzzBestFirstMatchesExhaustive -fuzztime 30s
+
+# Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
+# Table-1 flow once per worker count) and BENCH_prune.json (best-first
+# search vs exhaustive sweep); see docs/PERFORMANCE.md. Results depend on
+# the machine; num_cpu/go_max_procs are recorded in the parallel artifact.
 bench-json:
 	$(GO) run ./cmd/mrbench -experiment parallel -scale 400 -workers 1,2,4 \
 		-json BENCH_parallel.json -no-progress
+	$(GO) run ./cmd/mrbench -experiment prune -scale 400 \
+		-json BENCH_prune.json -no-progress
 
 # Quick allocation/latency smoke over the MLL hot path (CI gate).
 bench-smoke:

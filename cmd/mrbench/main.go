@@ -9,6 +9,8 @@
 //	mrbench -experiment baselines                    # Abacus/greedy (E6)
 //	mrbench -experiment parallel -scale 400 \
 //	        -json BENCH_parallel.json                # worker sweep (docs/PERFORMANCE.md)
+//	mrbench -experiment prune -scale 400 \
+//	        -json BENCH_prune.json                   # best-first search vs exhaustive
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
@@ -106,6 +108,24 @@ func main() {
 			}
 		} else {
 			experiments.PrintParallel(os.Stdout, rep)
+		}
+	case "prune":
+		rep := experiments.RunPrune(cfg)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WritePruneJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintPrune(os.Stdout, rep)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q\n", *exp)

@@ -41,6 +41,7 @@ func main() {
 		ry      = flag.Int("ry", 5, "local region half-height Ry (rows)")
 		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
 		exact   = flag.Bool("exact", false, "use exact insertion-point evaluation instead of the paper's approximation")
+		exhaust = flag.Bool("exhaustive-search", false, "evaluate every insertion point instead of the pruned best-first search (same result, more work)")
 		useILP  = flag.Bool("ilp", false, "use the ILP local solver baseline instead of MLL")
 		seed    = flag.Int64("seed", 1, "retry-offset random seed")
 		quiet   = flag.Bool("q", false, "suppress the metrics report")
@@ -95,6 +96,7 @@ func main() {
 	cfg.Rx, cfg.Ry = *rx, *ry
 	cfg.PowerAlign = !*noalign
 	cfg.ExactEval = *exact
+	cfg.ExhaustiveSearch = *exhaust
 	cfg.Seed = *seed
 	cfg.CellTimeout = *cellTimeout
 	cfg.AuditEvery = *auditEvery
@@ -145,6 +147,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  ΔHPWL            : %+.3f%%\n", netlist.HPWLDelta(before, after)*100)
 		fmt.Fprintf(os.Stderr, "  direct placements: %d, MLL calls: %d (%d failed), retry rounds: %d\n",
 			st.DirectPlacements, st.MLLCalls, st.MLLFailures, st.RetryRounds)
+		if st.CandidatesPruned > 0 || st.SearchNodesCut > 0 || st.WindowsPruned > 0 {
+			fmt.Fprintf(os.Stderr, "  best-first search: %d evaluated, %d candidates pruned, %d subtrees cut, %d windows pruned\n",
+				st.InsertionPoints, st.CandidatesPruned, st.SearchNodesCut, st.WindowsPruned)
+		}
 		if ph := l.Phases(); ph.Total() > 0 {
 			fmt.Fprintf(os.Stderr, "  MLL phase times  : extract %s, enumerate %s, evaluate %s, realize %s\n",
 				ph.Extract.Round(time.Millisecond), ph.Enumerate.Round(time.Millisecond),

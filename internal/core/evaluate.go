@@ -64,6 +64,62 @@ func (r *Region) yCost(y int, ty float64) float64 {
 	return dy * float64(r.D.SiteH) / float64(r.D.SiteW)
 }
 
+// Admissible lower bounds for the best-first insertion-point search
+// (docs/PERFORMANCE.md §5). Every cost both evaluators report has the form
+//
+//	cost(ip, x) = Σ left terms + Σ right terms + |x − x'_t| + yCost(row)
+//
+// with every summand non-negative, so partial sums of summand lower
+// bounds never exceed the evaluated cost:
+//
+//   - the row bound is yCost alone. It is exact in floating point too:
+//     both evaluators add the identical yCost value to a non-negative
+//     horizontal part, and float addition is monotone, so cost ≥ yCost
+//     holds bit-for-bit and row pruning needs no slack.
+//   - xDist lower-bounds the |x − x'_t| term: the evaluator picks
+//     x ∈ [lo, hi], so |x − x'_t| ≥ dist(x'_t, [lo, hi]).
+//   - mandatory push: a gap between left neighbor i and right neighbor j
+//     (current free width f = x_j − (x_i+w_i), Interval.free) contributes
+//     max(0, a_i−x) + max(0, x−b_j) ≥ a_i − b_j ≥ w_t − f for any x,
+//     because a_i ≥ x_i+w_i and b_j ≤ x_j−w_t in both the approximate and
+//     the exact critical-position sets. Rows contribute these via
+//     *distinct* (deduplicated) cells, so the max over the combination's
+//     rows — not the sum, which could double-count a shared multi-row
+//     neighbor — is a valid bound.
+//
+// The composed candidate bound re-associates float additions relative to
+// the evaluator's left-to-right summation, so candidate-level pruning
+// keeps pruneSlack of headroom; a candidate is only skipped when its
+// bound exceeds the incumbent by more than the slack.
+
+// pruneSlack absorbs floating-point re-association between the composed
+// lower bound (yCost + xDist + push) and the evaluators' term-by-term
+// summation. Coordinates are < 1e7 sites and candidate sums have tens of
+// terms, so accumulated rounding is far below 1e-6 site widths.
+const pruneSlack = 1e-6
+
+// xDist is the distance from the desired position tx to the integer
+// interval [lo, hi] (0 when tx lies inside).
+func xDist(tx float64, lo, hi int) float64 {
+	if flo := float64(lo); tx < flo {
+		return flo - tx
+	}
+	if fhi := float64(hi); tx > fhi {
+		return tx - fhi
+	}
+	return 0
+}
+
+// mandatoryPush is the interval's unavoidable neighbor displacement for a
+// target of width wt: the target needs wt sites where only Interval.free
+// are currently free.
+func (iv *Interval) mandatoryPush(wt int) int {
+	if p := wt - iv.free; p > 0 {
+		return p
+	}
+	return 0
+}
+
 // evaluateApprox scores an insertion point with the paper's O(h_t)
 // approximation (§5.2): only the ≤ 2·h_t direct neighboring cells
 // contribute critical positions. For a left neighbor i the critical

@@ -42,6 +42,7 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 	}
 	iv := Interval{RelRow: rel, GapIdx: gapIdx,
 		Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
+	gapLo, gapHi := ls.Span.Lo, ls.Span.Hi
 	if gapIdx == 0 {
 		iv.Lo = ls.Span.Lo
 	} else {
@@ -49,6 +50,7 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 		lc := &r.sc.cells[li]
 		iv.Left, iv.leftIdx = lc.id, li
 		iv.Lo = lc.xL + lc.w
+		gapLo = lc.x + lc.w
 	}
 	if gapIdx == len(ls.Cells) {
 		iv.Hi = ls.Span.Hi - wt
@@ -57,7 +59,9 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 		rc := &r.sc.cells[ri]
 		iv.Right, iv.rightIdx = rc.id, ri
 		iv.Hi = rc.xR - wt
+		gapHi = rc.x
 	}
+	iv.free = gapHi - gapLo
 	if iv.Hi < iv.Lo {
 		return Interval{}, false
 	}

@@ -29,6 +29,13 @@ type Interval struct {
 	leftIdx, rightIdx int32
 
 	Lo, Hi int // inclusive bounds for the target cell's x in this gap
+
+	// free is the gap's free width in the *current* placement (right
+	// neighbor's x minus left neighbor's right edge, segment boundaries
+	// included). A target wider than free forces at least wt−free sites of
+	// neighbor displacement, which is the mandatory-push term of the
+	// best-first search's admissible lower bound (docs/PERFORMANCE.md §5).
+	free int
 }
 
 // Len returns Hi - Lo (≥ 0 for constructed intervals).
@@ -59,12 +66,14 @@ func (r *Region) buildIntervals(wt int) [][]Interval {
 		for k := 0; k <= n; k++ {
 			iv := Interval{RelRow: rel, GapIdx: k,
 				Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
+			gapLo, gapHi := ls.Span.Lo, ls.Span.Hi
 			if k == 0 {
 				iv.Lo = ls.Span.Lo
 			} else {
 				lc := &sc.cells[idxs[k-1]]
 				iv.Left, iv.leftIdx = lc.id, idxs[k-1]
 				iv.Lo = lc.xL + lc.w
+				gapLo = lc.x + lc.w
 			}
 			if k == n {
 				iv.Hi = ls.Span.Hi - wt
@@ -72,7 +81,9 @@ func (r *Region) buildIntervals(wt int) [][]Interval {
 				rc := &sc.cells[idxs[k]]
 				iv.Right, iv.rightIdx = rc.id, idxs[k]
 				iv.Hi = rc.xR - wt
+				gapHi = rc.x
 			}
+			iv.free = gapHi - gapLo
 			if iv.Hi >= iv.Lo {
 				sc.intervals = append(sc.intervals, iv)
 			}

@@ -40,8 +40,19 @@ type Config struct {
 
 	// MaxInsertionPoints caps how many insertion points a single MLL call
 	// evaluates; 0 means unlimited. Enumeration is O(|C_W|^h), so a cap
-	// bounds the tail on dense multi-row windows.
+	// bounds the tail on dense multi-row windows. With the best-first
+	// search the cap counts *evaluated* candidates, so a capped run may
+	// differ from a capped exhaustive run; at the default 0 the two modes
+	// are equivalent.
 	MaxInsertionPoints int
+
+	// ExhaustiveSearch disables the best-first lower-bound search and
+	// evaluates every valid insertion point, as the paper describes and as
+	// this implementation did before the search landed. Both modes return
+	// an identical best candidate (same cost, position and tie-break); the
+	// exhaustive sweep exists as the equivalence oracle and for ablation
+	// benchmarks (mrbench -experiment prune).
+	ExhaustiveSearch bool
 
 	// EscalateWindow is an implementation extension over the paper: when a
 	// cell stays unplaced after several retry rounds, the local-region
@@ -137,8 +148,21 @@ type Stats struct {
 	MLLSuccesses     int
 	MLLFailures      int
 	InsertionPoints  int64 // insertion points evaluated
-	CellsPushed      int64 // local cells moved by realizations
-	RetryRounds      int   // extra Algorithm-1 rounds needed
+
+	// Best-first search activity (all zero under ExhaustiveSearch). The
+	// counters are region-local — each MLL call's incumbent evolves from
+	// its own snapshot only — so they stay worker-count invariant like
+	// every other field. CandidatesPruned counts fully-formed insertion
+	// points whose lower bound skipped evaluation; SearchNodesCut counts
+	// partial-combination subtrees cut before reaching a candidate;
+	// WindowsPruned counts candidate bottom rows never entered because the
+	// y-cost bound alone exceeded the incumbent.
+	CandidatesPruned int64
+	SearchNodesCut   int64
+	WindowsPruned    int64
+
+	CellsPushed int64 // local cells moved by realizations
+	RetryRounds int   // extra Algorithm-1 rounds needed
 }
 
 // Legalizer binds a design, its segment grid and a configuration, and
@@ -492,10 +516,14 @@ func (l *Legalizer) widthFits(m *design.Master, w, h int) bool {
 	return false
 }
 
-// bestInsertionPoint enumerates and evaluates insertion points for target
+// bestInsertionPoint finds the minimum-cost insertion point for target
 // cell c in region r, returning the best (nil when none exists). The
 // returned insertion point is copied into the scratch's retained slot,
-// surviving the enumeration that produced it.
+// surviving the enumeration that produced it. The default path is the
+// best-first lower-bound search (searchBest); Cfg.ExhaustiveSearch
+// selects the full enumerate-then-evaluate sweep. Both paths use the
+// same enumeration-order-independent tie-break (betterCand), so they
+// return the identical candidate.
 func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64) (*InsertionPoint, Evaluation) {
 	sc := r.sc
 	m := l.D.MasterOf(c.ID)
@@ -504,7 +532,7 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 	var bestEv Evaluation
 	found := false
 	n := 0
-	r.enumerate(c.W, c.H, allow, func(ip *InsertionPoint) bool {
+	score := func(ip *InsertionPoint) bool {
 		var ev Evaluation
 		if timing {
 			t0 := time.Now()
@@ -514,7 +542,7 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 			ev = l.evaluate(r, ip, c.W, tx, ty)
 		}
 		n++
-		if ev.OK && (!found || better(ev, bestEv)) {
+		if ev.OK && (!found || betterCand(ev, ip, bestEv, &sc.bestIP)) {
 			found = true
 			bestEv = ev
 			sc.retainBest(ip)
@@ -523,7 +551,21 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 			return false
 		}
 		return l.Cfg.MaxInsertionPoints == 0 || n < l.Cfg.MaxInsertionPoints
-	})
+	}
+	if l.Cfg.ExhaustiveSearch {
+		r.enumerate(c.W, c.H, allow, score)
+	} else {
+		incumbent := math.Inf(1)
+		r.searchBest(c.W, c.H, tx, ty, allow, &incumbent, func(ip *InsertionPoint) bool {
+			if !score(ip) {
+				return false
+			}
+			if found && bestEv.Cost < incumbent {
+				incumbent = bestEv.Cost
+			}
+			return true
+		})
+	}
 	sc.stats.InsertionPoints += int64(n)
 	if !found {
 		return nil, Evaluation{}
@@ -553,11 +595,27 @@ func (sc *scratch) retainBest(ip *InsertionPoint) {
 	sc.bestIP = InsertionPoint{BottomRel: ip.BottomRel, Intervals: sc.bestPtrs, Lo: ip.Lo, Hi: ip.Hi}
 }
 
-// better orders evaluations: lower cost wins; ties break deterministically
-// on x.
-func better(a, b Evaluation) bool {
-	if a.Cost != b.Cost {
-		return a.Cost < b.Cost
+// betterCand is the strict total order on scored candidates: lower cost
+// wins, ties break on target x, then bottom row, then the lexicographic
+// gap-index sequence. Because the order is total — no two distinct
+// candidates compare equal — the winner is independent of enumeration
+// order, which is what lets the best-first search and the exhaustive
+// scanline sweep return the identical insertion point (and what keeps
+// parallel runs byte-identical at every worker count).
+func betterCand(aEv Evaluation, a *InsertionPoint, bEv Evaluation, b *InsertionPoint) bool {
+	if aEv.Cost != bEv.Cost {
+		return aEv.Cost < bEv.Cost
 	}
-	return a.X < b.X
+	if aEv.X != bEv.X {
+		return aEv.X < bEv.X
+	}
+	if a.BottomRel != b.BottomRel {
+		return a.BottomRel < b.BottomRel
+	}
+	for k := range a.Intervals {
+		if ga, gb := a.Intervals[k].GapIdx, b.Intervals[k].GapIdx; ga != gb {
+			return ga < gb
+		}
+	}
+	return false
 }

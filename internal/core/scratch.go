@@ -93,6 +93,12 @@ type scratch struct {
 	bestPtrs  []*Interval
 	bestIP    InsertionPoint
 
+	// --- best-first search (searchBest) ---
+	winOrder []searchWindow // candidate windows sorted by (y-cost bound, row)
+	rowRank  [][]int32      // per-row interval order by (distance from tx, gap)
+	mrSide   []int8         // per multi-row cell: side pinned by the partial combo
+	mrTouch  []int32        // stack of mrSide entries set on the current DFS path
+
 	// --- evaluation ---
 	lpts, rpts []float64
 	kL, kR     []int32 // dense clearances by local index; -1 = unreached
@@ -140,6 +146,9 @@ func (l *Legalizer) mergeScratch(sc *scratch) {
 	d.MLLSuccesses += s.MLLSuccesses
 	d.MLLFailures += s.MLLFailures
 	d.InsertionPoints += s.InsertionPoints
+	d.CandidatesPruned += s.CandidatesPruned
+	d.SearchNodesCut += s.SearchNodesCut
+	d.WindowsPruned += s.WindowsPruned
 	d.CellsPushed += s.CellsPushed
 	d.RetryRounds += s.RetryRounds
 	sc.stats = Stats{}

@@ -28,13 +28,14 @@ func buildGrid(t testing.TB, d *design.Design) *segment.Grid {
 func bestByEnumeration(r *core.Region, wt, ht int, tx, ty float64, allow func(int) bool) (float64, bool) {
 	best := math.Inf(1)
 	found := false
-	for _, ip := range r.EnumerateInsertionPoints(wt, ht, allow) {
+	r.VisitInsertionPoints(wt, ht, allow, func(ip *core.InsertionPoint) bool {
 		ev := r.EvaluateExact(ip, wt, tx, ty)
 		if ev.OK && ev.Cost < best {
 			best = ev.Cost
 			found = true
 		}
-	}
+		return true
+	})
 	return best, found
 }
 
