@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz fuzz-search bench-json bench-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search bench-json bench-smoke clean
 
-check: vet build race
+check: vet build race cover
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Coverage floors: internal/obs >= 90%, internal/core no worse than its
+# pre-observability level (see scripts/cover.sh and docs/OBSERVABILITY.md).
+cover:
+	sh scripts/cover.sh
 
 # Short fuzz session over the bookshelf parser (satellite of the
 # robustness work; see docs/ROBUSTNESS.md).

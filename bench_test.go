@@ -21,6 +21,7 @@ import (
 	"mrlegal/internal/gp"
 	"mrlegal/internal/ilplegal"
 	"mrlegal/internal/iodesign"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/render"
 	"mrlegal/internal/segment"
 	"mrlegal/internal/tetris"
@@ -272,6 +273,38 @@ func BenchmarkSingleMLLCall(b *testing.B) {
 		id := base.Cells[ids[i%len(ids)]].ID
 		c := base.Cell(id)
 		// Move each cell a few sites away and back: two MLL invocations.
+		if !l.MoveCell(id, float64(c.X+5), float64(c.Y)) {
+			continue
+		}
+	}
+}
+
+// BenchmarkSingleMLLCallObserved is BenchmarkSingleMLLCall with the
+// observability layer attached (metrics + event ring, no trace sink);
+// comparing the two quantifies the instrumentation overhead quoted in
+// docs/OBSERVABILITY.md.
+func BenchmarkSingleMLLCallObserved(b *testing.B) {
+	p := prepared(b, "fft_1", 200)
+	base := p.Bench.D.Clone()
+	cfg := core.DefaultConfig()
+	cfg.Obs = obs.New(obs.Options{})
+	l, err := core.NewLegalizer(base, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := l.Legalize(); err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, 0, len(base.Cells))
+	for i := range base.Cells {
+		if !base.Cells[i].Fixed {
+			ids = append(ids, i)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := base.Cells[ids[i%len(ids)]].ID
+		c := base.Cell(id)
 		if !l.MoveCell(id, float64(c.X+5), float64(c.Y)) {
 			continue
 		}

@@ -11,6 +11,8 @@
 //	        -json BENCH_parallel.json                # worker sweep (docs/PERFORMANCE.md)
 //	mrbench -experiment prune -scale 400 \
 //	        -json BENCH_prune.json                   # best-first search vs exhaustive
+//	mrbench -experiment table1 -skip-ilp -metrics \
+//	        -trace-out trace.jsonl                   # + Prometheus dump & JSONL trace
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"mrlegal/internal/experiments"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/profiling"
 )
 
@@ -36,6 +39,9 @@ func main() {
 		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
 		workers = flag.String("workers", "", "comma-separated worker counts for -experiment parallel (default \"1,NumCPU\")")
 		jsonOut = flag.String("json", "", "write the parallel experiment's report as JSON to this file instead of a table")
+
+		metrics   = flag.Bool("metrics", false, "emit the accumulated Prometheus text exposition once to stdout after the experiment (see docs/OBSERVABILITY.md)")
+		traceFlag = flag.String("trace-out", "", "write the per-cell JSONL placement trace of every run to this file")
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -58,6 +64,43 @@ func main() {
 	if !*quietP {
 		cfg.Progress = os.Stderr
 	}
+
+	// Observability: one observer shared by every run of the experiment;
+	// the exposition is dumped once after the table (docs/OBSERVABILITY.md).
+	var observer *obs.Observer
+	var traceFile *os.File
+	if *metrics || *traceFlag != "" {
+		opt := obs.Options{}
+		if *traceFlag != "" {
+			f, err := os.Create(*traceFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+			traceFile = f
+			opt.TraceOut = f
+		}
+		observer = obs.New(opt)
+		cfg.Obs = observer
+	}
+	finishObs := func() {
+		if observer == nil {
+			return
+		}
+		if err := observer.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: trace-out: %v\n", err)
+		}
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		if *metrics {
+			if err := observer.Registry().WritePrometheus(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: metrics: %v\n", err)
+			}
+		}
+	}
+	defer finishObs()
 
 	switch *exp {
 	case "table1":

@@ -6,6 +6,7 @@
 //
 //	mrgen -name demo -cells 2000 -density 0.6 | mrlegal -o legal.mr
 //	mrlegal -in fft_1.mr -ilp -noalign -o /dev/null
+//	mrlegal -in demo.mr -metrics-addr :8080 -trace-out trace.jsonl -o legal.mr
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"mrlegal/internal/ilplegal"
 	"mrlegal/internal/iodesign"
 	"mrlegal/internal/netlist"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/profiling"
 	"mrlegal/internal/render"
 	"mrlegal/internal/verify"
@@ -52,6 +54,9 @@ func main() {
 		bestEffort  = flag.Bool("best-effort", false, "place as many cells as possible and report failures instead of aborting")
 		auditEvery  = flag.Int("audit-every", 0, "run a full invariant audit every N placements, rolling back the batch on violation (0 = off)")
 		workers     = flag.Int("workers", 0, "planning goroutines per round (0 = NumCPU, 1 = serial; results are identical either way)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics at http://ADDR/metrics during the run (':0' picks a free port; see docs/OBSERVABILITY.md)")
+		traceFlag   = flag.String("trace-out", "", "write the per-cell JSONL placement trace to this file ('-' = stdout)")
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -105,6 +110,37 @@ func main() {
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}
 	}
+
+	// Observability: a shared observer feeds the -metrics-addr exposition
+	// and the -trace-out JSONL sink (docs/OBSERVABILITY.md).
+	var observer *obs.Observer
+	var traceFile *os.File
+	if *metricsAddr != "" || *traceFlag != "" {
+		opt := obs.Options{}
+		if *traceFlag != "" {
+			if *traceFlag == "-" {
+				opt.TraceOut = os.Stdout
+			} else {
+				f, err := os.Create(*traceFlag)
+				if err != nil {
+					fatal(err)
+				}
+				traceFile = f
+				opt.TraceOut = f
+			}
+		}
+		observer = obs.New(opt)
+		cfg.Obs = observer
+		if *metricsAddr != "" {
+			srv, err := obs.Serve(*metricsAddr, observer.Registry())
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "mrlegal: serving metrics on http://%s/metrics\n", srv.Addr())
+		}
+	}
+
 	l, err := core.NewLegalizer(d, cfg)
 	if err != nil {
 		fatal(err)
@@ -130,6 +166,17 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+
+	if observer != nil {
+		if err := observer.Flush(); err != nil {
+			fatal(fmt.Errorf("trace-out: %w", err))
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fatal(fmt.Errorf("trace-out: %w", err))
+			}
+		}
+	}
 
 	if vs := verify.Check(d, verify.Options{RequirePlaced: allPlaced, PowerAlignment: cfg.PowerAlign}, 5); len(vs) > 0 {
 		for _, v := range vs {

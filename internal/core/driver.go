@@ -6,8 +6,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"mrlegal/internal/design"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/verify"
 )
 
@@ -79,6 +81,10 @@ type runState struct {
 func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 	rep := &Report{}
 	st := &runState{rep: rep, lastErr: make(map[design.CellID]error)}
+	var runStart time.Time
+	if l.om != nil {
+		runStart = time.Now()
+	}
 
 	var unplaced []design.CellID
 	for i := range l.D.Cells {
@@ -136,6 +142,10 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 		if k > 1 {
 			l.stats.RetryRounds++
 		}
+		if l.om != nil {
+			l.om.rounds.Inc()
+			l.om.unplaced.Set(int64(len(unplaced)))
+		}
 		unplaced = l.placeRound(unplaced, k, st)
 		if st.fatal != nil {
 			break
@@ -148,6 +158,17 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 
 	for _, id := range infeasible {
 		rep.Failed = append(rep.Failed, CellFailure{Cell: id, Name: l.D.Cell(id).Name, Err: ErrCellTooWide})
+		if l.om != nil {
+			// Prescreened cells never reach the attempt loop; record them
+			// here so the trace accounts for every movable cell.
+			l.om.attempts.Inc()
+			l.om.attemptFailures.Inc()
+			l.om.o.RecordCell(obs.CellEvent{
+				Cell:    int(id),
+				Outcome: obs.OutcomeTooWide,
+				Worker:  -1,
+			})
+		}
 	}
 	for _, id := range unplaced {
 		reason := st.lastErr[id]
@@ -169,6 +190,9 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 	rep.TotalDisp, rep.AvgDisp = l.D.TotalDispSites()
 	rep.Stats = l.stats
 	rep.Phases = l.phases
+	if l.om != nil {
+		l.observeRun(rep, time.Since(runStart))
+	}
 	return rep, st.fatal
 }
 
@@ -235,8 +259,12 @@ func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []des
 		ry *= scale
 	}
 	targets := l.roundTargets(cells, k, rx, ry, st)
-	if w := l.roundWorkers(len(cells)); w > 1 {
-		return l.placeRoundParallel(cells, targets, rx, ry, w, st)
+	w := l.roundWorkers(len(cells))
+	if l.om != nil {
+		l.om.roundWorkers.Set(int64(w))
+	}
+	if w > 1 {
+		return l.placeRoundParallel(cells, targets, k, rx, ry, w, st)
 	}
 	var failed []design.CellID
 	for i, id := range cells {
@@ -248,9 +276,17 @@ func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []des
 			failed = append(failed, cells[i:]...)
 			break
 		}
+		var s0 Stats
+		var t0 time.Time
+		if l.om != nil {
+			s0, t0 = l.stats, time.Now()
+		}
 		err := l.attempt(id, func() error {
 			return l.placeAt(id, targets[i].tx, targets[i].ty, rx, ry)
 		})
+		if l.om != nil {
+			l.observeAttempt(id, k, rx, ry, -1, s0, time.Since(t0), err)
+		}
 		if err != nil {
 			st.lastErr[id] = err
 			failed = append(failed, id)
@@ -278,6 +314,9 @@ func (l *Legalizer) maybeAudit(st *runState) []design.CellID {
 	}
 	st.rep.AuditRuns++
 	st.sinceAudit = 0
+	if l.om != nil {
+		l.om.auditRuns.Inc()
+	}
 	bad := l.Cfg.Faults != nil && l.Cfg.Faults.OnAudit()
 	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign}, 1)) > 0 {
 		bad = true
@@ -297,6 +336,9 @@ func (l *Legalizer) maybeAudit(st *runState) []design.CellID {
 		return nil
 	}
 	st.rep.AuditRollbacks++
+	if l.om != nil {
+		l.om.auditRollbacks.Inc()
+	}
 	rolledBack := append([]design.CellID(nil), st.batch...)
 	if err := st.txn.Rollback(); err != nil {
 		st.fatal = err

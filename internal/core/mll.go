@@ -8,6 +8,7 @@ import (
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/sched"
 	"mrlegal/internal/segment"
 )
@@ -111,6 +112,15 @@ type Config struct {
 	// engine's mutation points for chaos testing (see FaultInjector and
 	// internal/faultinject). Nil in production.
 	Faults FaultInjector
+
+	// Obs, when non-nil, attaches the observability layer: the metric
+	// registry, the per-cell trace ring and any configured sinks (see
+	// internal/obs and docs/OBSERVABILITY.md). Nil disables everything at
+	// the cost of one pointer compare per instrumentation site; the
+	// placement result is byte-identical either way. Attaching an
+	// observer implicitly enables phase timing (the phase histograms need
+	// the same clocks as Report.Phases).
+	Obs *obs.Observer
 }
 
 // LocalSolver selects an insertion point and target x for one local
@@ -186,6 +196,11 @@ type Legalizer struct {
 	stats  Stats
 	phases PhaseTimes
 
+	// om holds the resolved metric handles of Cfg.Obs, nil when
+	// observability is disabled. Every recording site nil-checks it; see
+	// observe.go for the discipline.
+	om *obsMetrics
+
 	// lastMoved records the local cells shifted by the most recent
 	// successful realization (excluding the target). Reused buffer.
 	lastMoved []design.CellID
@@ -233,7 +248,11 @@ func NewLegalizer(d *design.Design, cfg Config) (*Legalizer, error) {
 	if err := g.RebuildOccupancy(); err != nil {
 		return nil, err
 	}
-	return &Legalizer{D: d, G: g, Cfg: cfg, rng: newRNG(cfg.Seed)}, nil
+	l := &Legalizer{D: d, G: g, Cfg: cfg, rng: newRNG(cfg.Seed)}
+	if cfg.Obs != nil {
+		l.om = newObsMetrics(cfg.Obs)
+	}
+	return l, nil
 }
 
 // Stats returns a snapshot of activity counters.
@@ -306,6 +325,19 @@ func (l *Legalizer) resetCancel(sc *scratch) {
 // region-local enumeration, so parallel planners only serialize on the
 // snapshot. commitPlan applies the decision.
 func (l *Legalizer) planCell(sc *scratch, id design.CellID, tx, ty float64, rx, ry int) {
+	if l.om == nil {
+		l.planCellInner(sc, id, tx, ty, rx, ry)
+		return
+	}
+	// Observability wants the planning wall time per cell (the commit
+	// half is clocked by the coordinator; see observeAttempt). Kept out
+	// of planCellInner so the disabled path makes no time syscalls.
+	t0 := time.Now()
+	l.planCellInner(sc, id, tx, ty, rx, ry)
+	sc.planDur = time.Since(t0)
+}
+
+func (l *Legalizer) planCellInner(sc *scratch, id design.CellID, tx, ty float64, rx, ry int) {
 	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
 	l.resetCancel(sc)
 	c := l.D.Cell(id)
@@ -330,7 +362,7 @@ func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, r
 		panic("core: MLL target must be unplaced")
 	}
 	var t0 time.Time
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		t0 = time.Now()
 	}
 	xc := int(math.Round(tx))
@@ -342,7 +374,7 @@ func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, r
 		H: 2*ry + c.H,
 	}
 	r := sc.extract(l.G, win)
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		sc.phases.Extract += time.Since(t0)
 	}
 	return r
@@ -354,7 +386,7 @@ func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, r
 func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
 	c := l.D.Cell(sc.plan.id)
 	var t0 time.Time
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		t0 = time.Now()
 	}
 	evalBefore := sc.phases.Evaluate
@@ -371,7 +403,7 @@ func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
 		ip, ev = l.bestInsertionPoint(r, c, tx, ty)
 		x = ev.X
 	}
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		sc.phases.Enumerate += time.Since(t0) - (sc.phases.Evaluate - evalBefore)
 	}
 	if ip == nil {
@@ -437,11 +469,11 @@ func (l *Legalizer) realizePlan(sc *scratch) error {
 		r.onRealize = l.Cfg.Faults.OnRealize
 	}
 	var t0 time.Time
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		t0 = time.Now()
 	}
 	moved, err := r.Realize(p.ip, p.ipX, p.id)
-	if l.Cfg.PhaseTiming {
+	if l.timing() {
 		sc.phases.Realize += time.Since(t0)
 	}
 	if err != nil {
@@ -528,7 +560,7 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 	sc := r.sc
 	m := l.D.MasterOf(c.ID)
 	allow := l.allowRowFn(m)
-	timing := l.Cfg.PhaseTiming
+	timing := l.timing()
 	var bestEv Evaluation
 	found := false
 	n := 0

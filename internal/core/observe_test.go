@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/obs"
+)
+
+// obsSpec is a benchmark dense enough to force MLL calls, retries and a
+// mix of direct and displaced placements.
+var obsSpec = bengen.Spec{Name: "obs", NumCells: 800, Density: 0.7, Seed: 7}
+
+// legalizeObserved legalizes a fresh obsSpec instance with an observer
+// attached and returns the run's artifacts.
+func legalizeObserved(t *testing.T, workers int, trace *bytes.Buffer) (*core.Legalizer, *core.Report, *obs.Observer) {
+	t.Helper()
+	b := bengen.Generate(obsSpec)
+	opt := obs.Options{}
+	if trace != nil { // a typed-nil io.Writer would re-enable the sink
+		opt.TraceOut = trace
+	}
+	o := obs.New(opt)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 5
+	cfg.Workers = workers
+	cfg.Obs = o
+	l, err := core.NewLegalizer(b.D, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.LegalizeBestEffort(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return l, rep, o
+}
+
+// TestTraceMatchesReport pins the trace/Report exactness contract: the
+// end-of-run "final" events, summed in trace order, reproduce
+// Report.TotalDisp bit for bit (both walk the cells in ascending ID
+// order), and their count is exactly Report.Placed.
+func TestTraceMatchesReport(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		_, rep, _ := legalizeObserved(t, workers, &buf)
+
+		evs, err := obs.ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var finals int
+		var total float64
+		attempts := make(map[int]bool)
+		for _, ev := range evs {
+			if ev.Outcome == obs.OutcomeFinal {
+				finals++
+				total += ev.Disp
+				continue
+			}
+			attempts[ev.Cell] = true
+		}
+		if finals != rep.Placed {
+			t.Errorf("workers=%d: %d final events, Report.Placed = %d", workers, finals, rep.Placed)
+		}
+		if total != rep.TotalDisp {
+			t.Errorf("workers=%d: trace disp total %v != Report.TotalDisp %v (must be exact)",
+				workers, total, rep.TotalDisp)
+		}
+		// Every placed cell must have at least one attempt event.
+		if len(attempts) < rep.Placed {
+			t.Errorf("workers=%d: %d cells have attempt events, %d placed", workers, len(attempts), rep.Placed)
+		}
+		if rep.Placed == 0 || len(rep.Failed) > 0 {
+			t.Fatalf("workers=%d: degenerate run %+v", workers, rep)
+		}
+	}
+}
+
+// TestMetricsMirrorStats checks the registry counters fed at the scratch
+// merge point equal the Stats the engine itself reports, and the
+// worker-sharded plan counter sums to the attempt count regardless of
+// worker count.
+func TestMetricsMirrorStats(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		l, rep, o := legalizeObserved(t, workers, nil)
+		st := l.Stats()
+		snap := o.Registry().Snapshot()
+
+		counters := map[string]int64{
+			"mrlegal_direct_placements_total":          int64(st.DirectPlacements),
+			"mrlegal_mll_calls_total":                  int64(st.MLLCalls),
+			"mrlegal_mll_successes_total":              int64(st.MLLSuccesses),
+			"mrlegal_mll_failures_total":               int64(st.MLLFailures),
+			"mrlegal_insertion_points_evaluated_total": st.InsertionPoints,
+			"mrlegal_search_candidates_pruned_total":   st.CandidatesPruned,
+			"mrlegal_search_nodes_cut_total":           st.SearchNodesCut,
+			"mrlegal_search_windows_pruned_total":      st.WindowsPruned,
+			"mrlegal_cells_pushed_total":               st.CellsPushed,
+			"mrlegal_rounds_total":                     int64(rep.Rounds),
+			"mrlegal_cell_placements_total":            int64(rep.Placed),
+		}
+		for name, want := range counters {
+			if got, ok := snap.Counters[name]; !ok {
+				t.Errorf("workers=%d: %s not registered", workers, name)
+			} else if got != want {
+				t.Errorf("workers=%d: %s = %d, Stats says %d", workers, name, got, want)
+			}
+		}
+		attempts := snap.Counters["mrlegal_cell_attempts_total"]
+		if got := snap.Counters["mrlegal_worker_plans_total"]; workers > 1 && got != attempts {
+			// Parallel rounds plan each committed attempt exactly once
+			// (speculative re-plans happen on the coordinator, not workers,
+			// only after invalidation; they re-dispatch and re-count).
+			if got < attempts {
+				t.Errorf("workers=%d: worker plans %d < attempts %d", workers, got, attempts)
+			}
+		}
+		if g := snap.Gauges["mrlegal_placed_cells"]; g != int64(rep.Placed) {
+			t.Errorf("workers=%d: placed_cells gauge %d, Report.Placed %d", workers, g, rep.Placed)
+		}
+		if h := snap.Hists["mrlegal_cell_displacement_sites"]; h.Count != int64(rep.Placed) {
+			t.Errorf("workers=%d: displacement histogram count %d, Report.Placed %d", workers, h.Count, rep.Placed)
+		}
+		if h := snap.Hists["mrlegal_run_seconds"]; h.Count != 1 {
+			t.Errorf("workers=%d: run_seconds count %d, want 1", workers, h.Count)
+		}
+		if h := snap.Hists["mrlegal_attempt_seconds"]; h.Count != attempts {
+			t.Errorf("workers=%d: attempt_seconds count %d, attempts %d", workers, h.Count, attempts)
+		}
+	}
+}
+
+// TestObsDoesNotChangePlacements is the acceptance gate for the passive
+// contract: attaching an observer must leave the placement byte-identical
+// to the disabled run, at any worker count.
+func TestObsDoesNotChangePlacements(t *testing.T) {
+	checksum := func(workers int, observed bool) uint64 {
+		b := bengen.Generate(obsSpec)
+		cfg := core.DefaultConfig()
+		cfg.Seed = 5
+		cfg.Workers = workers
+		if observed {
+			cfg.Obs = obs.New(obs.Options{})
+		}
+		l, err := core.NewLegalizer(b.D, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Legalize(); err != nil {
+			t.Fatal(err)
+		}
+		return b.D.PlacementChecksum()
+	}
+	ref := checksum(1, false)
+	for _, workers := range []int{1, 4} {
+		for _, observed := range []bool{false, true} {
+			if got := checksum(workers, observed); got != ref {
+				t.Errorf("workers=%d observed=%v: checksum %016x != baseline %016x",
+					workers, observed, got, ref)
+			}
+		}
+	}
+}
+
+// TestTraceRecordsInfeasible checks that cells prescreened as too wide —
+// which never reach the attempt loop — still get a trace event, so the
+// trace accounts for every movable cell.
+func TestTraceRecordsInfeasible(t *testing.T) {
+	d := dtest.Flat(4, 30)
+	wide := dtest.Unplaced(d, 50, 1, 0, 0)
+	for i := 0; i < 6; i++ {
+		dtest.Unplaced(d, 3, 1, float64(i*3), float64(i%4))
+	}
+	var buf bytes.Buffer
+	o := obs.New(obs.Options{TraceOut: &buf})
+	cfg := core.DefaultConfig()
+	cfg.Obs = o
+	l, err := core.NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := l.LegalizeBestEffort(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 1 {
+		t.Fatalf("failed = %v, want only the wide cell", rep.Failed)
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Cell == int(wide) && ev.Outcome == obs.OutcomeTooWide {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no too_wide event for prescreened cell %d in %d trace events", wide, len(evs))
+	}
+	snap := o.Registry().Snapshot()
+	if a, f := snap.Counters["mrlegal_cell_attempts_total"], snap.Counters["mrlegal_cell_attempt_failures_total"]; f < 1 || a < 7 {
+		t.Errorf("attempts=%d failures=%d, want the prescreened cell counted", a, f)
+	}
+}
+
+// TestObsTxnCounters checks commit/rollback counters through the
+// incremental API: a successful move commits, an impossible one rolls
+// back.
+func TestObsTxnCounters(t *testing.T) {
+	b := bengen.Generate(obsSpec)
+	o := obs.New(obs.Options{})
+	cfg := core.DefaultConfig()
+	cfg.Obs = o
+	l, err := core.NewLegalizer(b.D, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Legalize(); err != nil {
+		t.Fatal(err)
+	}
+	base := o.Registry().Snapshot().Counters
+	var id int = -1
+	for i := range b.D.Cells {
+		if !b.D.Cells[i].Fixed && b.D.Cells[i].Placed {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatal("no movable cell")
+	}
+	c := b.D.Cell(b.D.Cells[id].ID)
+	if !l.MoveCell(c.ID, float64(c.X+2), float64(c.Y)) {
+		t.Fatal("move failed")
+	}
+	after := o.Registry().Snapshot().Counters
+	if d := after["mrlegal_txn_commits_total"] - base["mrlegal_txn_commits_total"]; d != 1 {
+		t.Errorf("commits delta %d, want 1", d)
+	}
+	if d := after["mrlegal_txn_rollbacks_total"] - base["mrlegal_txn_rollbacks_total"]; d != 0 {
+		t.Errorf("rollbacks delta %d, want 0", d)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sync"
+	"time"
 
 	"mrlegal/internal/design"
 	"mrlegal/internal/sched"
@@ -77,8 +78,9 @@ func (l *Legalizer) scratchPool(n int) []*scratch {
 }
 
 // placeRoundParallel is placeRound's plan-in-parallel, commit-in-order
-// engine. cells and targets are parallel slices in round order.
-func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarget, rx, ry, workers int, st *runState) []design.CellID {
+// engine. cells and targets are parallel slices in round order; round is
+// the Algorithm-1 round number (observability only).
+func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarget, round, rx, ry, workers int, st *runState) []design.CellID {
 	n := len(cells)
 	lookahead := workers * 4
 	if lookahead > n {
@@ -98,13 +100,18 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for t := range tasks {
 				l.planCell(t.sc, cells[t.idx], targets[t.idx].tx, targets[t.idx].ty, rx, ry)
+				if l.om != nil {
+					// Worker-local shard: merged on read, never contended.
+					t.sc.worker = w
+					l.om.workerPlans.Add(w, 1)
+				}
 				results <- planResult{idx: t.idx, gen: t.gen, sc: t.sc}
 			}
-		}()
+		}(w)
 	}
 
 	var (
@@ -147,6 +154,11 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 			board.Applied(i)
 			return
 		}
+		var s0 Stats
+		var t0 time.Time
+		if l.om != nil {
+			s0, t0 = l.stats, time.Now()
+		}
 		l.gridMu.Lock()
 		err := l.attempt(id, func() error { return l.commitPlan(sc) })
 		var rolled []design.CellID
@@ -157,6 +169,12 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 		}
 		l.gridMu.Unlock()
 		l.mergeScratch(sc)
+		if l.om != nil {
+			// The event's duration is the worker's planning time plus the
+			// coordinator's commit time; the stats delta is complete here
+			// because mergeScratch just folded the shard in.
+			l.observeAttempt(id, round, rx, ry, sc.worker, s0, sc.planDur+time.Since(t0), err)
+		}
 		pool = append(pool, sc)
 		board.Applied(i)
 		if err != nil {
@@ -237,6 +255,11 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 		l.schedCounters.Dispatched += ctr.Dispatched
 		l.schedCounters.Deferred += ctr.Deferred
 		l.schedCounters.Invalidated += ctr.Invalidated
+		if l.om != nil {
+			l.om.schedDispatched.Add(ctr.Dispatched)
+			l.om.schedDeferred.Add(ctr.Deferred)
+			l.om.schedInvalidated.Add(ctr.Invalidated)
+		}
 	}
 	return failed
 }

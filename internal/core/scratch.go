@@ -113,6 +113,10 @@ type scratch struct {
 	stats  Stats
 	phases PhaseTimes
 
+	// --- observability (set only when an observer is attached) ---
+	planDur time.Duration // planCell wall time of the current plan
+	worker  int           // planning worker index, -1 on the serial path
+
 	// --- per-attempt cancellation state (was on Legalizer; moved here so
 	// concurrent planners poll independent deadlines) ---
 	runCtx       context.Context
@@ -122,7 +126,7 @@ type scratch struct {
 }
 
 func newScratch() *scratch {
-	sc := &scratch{nonLocal: make(map[design.CellID]bool)}
+	sc := &scratch{nonLocal: make(map[design.CellID]bool), worker: -1}
 	sc.region.sc = sc
 	return sc
 }
@@ -140,6 +144,9 @@ func (l *Legalizer) scratchFor() *scratch {
 // legalizer totals and clears the shard. Only the goroutine owning the
 // legalizer (the serial caller, or the parallel coordinator) calls this.
 func (l *Legalizer) mergeScratch(sc *scratch) {
+	if l.om != nil {
+		l.om.addMerge(&sc.stats, &sc.phases)
+	}
 	s, d := &sc.stats, &l.stats
 	d.DirectPlacements += s.DirectPlacements
 	d.MLLCalls += s.MLLCalls

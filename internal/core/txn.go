@@ -89,6 +89,9 @@ func (t *Txn) Commit() {
 	if t.l.txn == t {
 		t.l.txn = nil
 	}
+	if t.l.om != nil {
+		t.l.om.txnCommits.Inc()
+	}
 }
 
 // Rollback undoes every change since Begin and releases the transaction
@@ -102,6 +105,9 @@ func (t *Txn) Rollback() error {
 	t.latest = nil
 	if t.l.txn == t {
 		t.l.txn = nil
+	}
+	if t.l.om != nil {
+		t.l.om.txnRollbacks.Inc()
 	}
 	return err
 }

@@ -1,0 +1,37 @@
+package design
+
+// FNV-1a 64 parameters (hash/fnv is not used so the mix stays inlinable
+// and allocation-free).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// PlacementChecksum returns an FNV-1a 64 digest of the placement state:
+// for every cell, in ID order, the (ID, X, Y, Placed, Orient) tuple — the
+// same fields the determinism tests compare byte for byte. Two designs
+// with identical cell rosters have equal checksums exactly when their
+// placements are identical, so the golden determinism suite pins one
+// uint64 per benchmark instead of a full placement dump.
+func (d *Design) PlacementChecksum() uint64 {
+	h := fnvOffset64
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		mix(uint64(c.ID))
+		mix(uint64(int64(c.X)))
+		mix(uint64(int64(c.Y)))
+		flags := uint64(c.Orient) << 1
+		if c.Placed {
+			flags |= 1
+		}
+		mix(flags)
+	}
+	return h
+}

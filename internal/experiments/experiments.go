@@ -16,6 +16,7 @@ import (
 	"mrlegal/internal/gp"
 	"mrlegal/internal/ilplegal"
 	"mrlegal/internal/netlist"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/verify"
 )
 
@@ -60,6 +61,13 @@ type Table1Config struct {
 	Rx, Ry int
 	// Seed offsets all generator/placer seeds for sensitivity runs.
 	Seed int64
+
+	// Obs, when non-nil, attaches the observability layer to every
+	// legalizer the experiment constructs: metrics accumulate across all
+	// runs in one registry (cmd/mrbench dumps the exposition once at the
+	// end) and cell events stream to any configured trace sink. Nil keeps
+	// the runs on the allocation-free fast path.
+	Obs *obs.Observer
 }
 
 func (c *Table1Config) defaults() {
@@ -125,6 +133,7 @@ func (c *Table1Config) coreConfig(align, useILP bool) core.Config {
 	cfg.Rx, cfg.Ry = c.Rx, c.Ry
 	cfg.PowerAlign = align
 	cfg.Seed = 1 + c.Seed
+	cfg.Obs = c.Obs
 	if useILP {
 		cfg.Solver = &ilplegal.Solver{MaxNodes: c.ILPMaxNodes}
 	}

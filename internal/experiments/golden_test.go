@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+)
+
+// The golden determinism suite pins one placement checksum per Table-1
+// benchmark and recomputes it under every scheduling and search mode the
+// engine claims is result-identical: workers ∈ {1, 4} × {best-first,
+// exhaustive} search. Any divergence — between configurations, between
+// machines, or against the pinned file — is a determinism regression.
+//
+// Regenerate testdata/golden_checksums.txt after an intentional
+// algorithmic change with:
+//
+//	go test ./internal/experiments -run TestGoldenPlacements -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_checksums.txt from this run")
+
+// goldenScale keeps the 20-benchmark × 4-configuration sweep fast enough
+// for CI race mode while still exercising multi-row cells and retries.
+const goldenScale = 800
+
+const goldenFile = "testdata/golden_checksums.txt"
+
+// goldenConfigs are the four configurations whose placements must agree.
+func goldenConfigs() []struct {
+	tag string
+	cfg core.Config
+} {
+	var out []struct {
+		tag string
+		cfg core.Config
+	}
+	for _, workers := range []int{1, 4} {
+		for _, exhaustive := range []bool{false, true} {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			cfg.ExhaustiveSearch = exhaustive
+			tag := fmt.Sprintf("w%d/", workers)
+			if exhaustive {
+				tag += "exhaustive"
+			} else {
+				tag += "best-first"
+			}
+			out = append(out, struct {
+				tag string
+				cfg core.Config
+			}{tag, cfg})
+		}
+	}
+	return out
+}
+
+func readGolden(t *testing.T) map[string]uint64 {
+	t.Helper()
+	f, err := os.Open(goldenFile)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update-golden to create): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("golden file: malformed line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			t.Fatalf("golden file: bad checksum on %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func writeGolden(t *testing.T, sums map[string]uint64) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Placement checksums (FNV-1a 64, hex) for the Table-1 set at scale %d.\n", goldenScale)
+	b.WriteString("# Pinned by TestGoldenPlacements; regenerate with -update-golden.\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %016x\n", n, sums[n])
+	}
+	if err := os.WriteFile(goldenFile, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenPlacements legalizes every Table-1 benchmark under all four
+// configurations and checks (a) the four checksums agree — placements are
+// byte-identical across worker counts and search modes — and (b) they
+// match the pinned golden values.
+func TestGoldenPlacements(t *testing.T) {
+	specs := bengen.Table1Specs(goldenScale)
+	configs := goldenConfigs()
+
+	sums := make(map[string]uint64, len(specs))
+	for _, spec := range specs {
+		p := Prepare(spec, 0)
+		var ref uint64
+		for i, gc := range configs {
+			d := p.Bench.D.Clone()
+			cfg := gc.cfg
+			cfg.Seed = 1
+			l, err := core.NewLegalizer(d, cfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", spec.Name, gc.tag, err)
+			}
+			if err := l.Legalize(); err != nil {
+				t.Fatalf("%s %s: %v", spec.Name, gc.tag, err)
+			}
+			sum := d.PlacementChecksum()
+			if i == 0 {
+				ref = sum
+			} else if sum != ref {
+				t.Errorf("%s: %s checksum %016x differs from %s checksum %016x",
+					spec.Name, gc.tag, sum, configs[0].tag, ref)
+			}
+		}
+		sums[spec.Name] = ref
+	}
+
+	if *updateGolden {
+		writeGolden(t, sums)
+		t.Logf("wrote %s (%d benchmarks)", goldenFile, len(sums))
+		return
+	}
+	want := readGolden(t)
+	if len(want) != len(sums) {
+		t.Errorf("golden file has %d benchmarks, run produced %d", len(want), len(sums))
+	}
+	for name, sum := range sums {
+		if w, ok := want[name]; !ok {
+			t.Errorf("%s: missing from golden file", name)
+		} else if sum != w {
+			t.Errorf("%s: checksum %016x, golden %016x", name, sum, w)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// MetricsHandler returns an http.Handler serving the registry in the
+// Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is a running metrics HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP listener on addr (":0" picks a free port) exposing
+// the registry at /metrics (and at / for convenience). It returns
+// immediately; the accept loop runs on its own goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	h := MetricsHandler(r)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's resolved address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }

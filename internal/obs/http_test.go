@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServeMetrics starts the listener on a free port and checks /metrics
+// (and the / convenience route) serve the exposition with the right
+// content type.
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "probe").Add(42)
+
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Errorf("GET %s: content type %q", path, ct)
+		}
+		if !strings.Contains(string(body), "up_total 42") {
+			t.Errorf("GET %s: body missing sample:\n%s", path, body)
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+// TestServeBadAddr checks Serve surfaces listen errors instead of
+// panicking.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:99999", NewRegistry()); err == nil {
+		t.Error("want error for unlistenable address")
+	}
+}

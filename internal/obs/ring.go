@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded cell-event buffer: pushes beyond the capacity evict
+// the oldest event. The storage is allocated once at construction and
+// events are stored by value, so steady-state pushes never allocate.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []CellEvent
+	next  int // index of the slot the next push writes
+	full  bool
+	total uint64 // lifetime push count (≥ len of Events)
+}
+
+// NewRing returns a ring holding at most n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]CellEvent, n)}
+}
+
+// Push appends an event, evicting the oldest when full.
+func (r *Ring) Push(ev CellEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the lifetime number of pushes (retained + evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Events copies the retained events in push order (oldest first).
+func (r *Ring) Events() []CellEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]CellEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]CellEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Do calls fn for each retained event in push order under the ring lock,
+// stopping early when fn returns false. fn must not call back into the
+// ring.
+func (r *Ring) Do(fn func(*CellEvent) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		for i := r.next; i < len(r.buf); i++ {
+			if !fn(&r.buf[i]) {
+				return
+			}
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		if !fn(&r.buf[i]) {
+			return
+		}
+	}
+}

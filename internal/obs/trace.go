@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// TraceWriter encodes cell events as JSON Lines: one CellEvent object per
+// line, in record order (docs/OBSERVABILITY.md documents the schema). The
+// first write error is sticky — later writes are dropped and the error is
+// reported by Err, so a full disk mid-run never aborts a legalization.
+type TraceWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewTraceWriter wraps w in a buffered JSONL encoder.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event line. Serialized by the owning Observer.
+func (t *TraceWriter) Write(ev CellEvent) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev) // Encode appends the trailing newline
+}
+
+// Flush drains the buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.bw.Flush()
+	return t.err
+}
+
+// Err returns the sticky first error.
+func (t *TraceWriter) Err() error { return t.err }
+
+// Flush drains the observer's trace sink, if any. Call it when the run
+// ends, before closing the destination file.
+func (o *Observer) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.trace == nil {
+		return nil
+	}
+	return o.trace.Flush()
+}
+
+// ReadTrace decodes a JSONL trace stream back into events, for tests and
+// offline analysis tools.
+func ReadTrace(r io.Reader) ([]CellEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []CellEvent
+	for dec.More() {
+		var ev CellEvent
+		if err := dec.Decode(&ev); err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -45,6 +45,7 @@ import (
 	"mrlegal/internal/geom"
 	"mrlegal/internal/gp"
 	"mrlegal/internal/netlist"
+	"mrlegal/internal/obs"
 	"mrlegal/internal/render"
 	"mrlegal/internal/verify"
 )
@@ -147,6 +148,31 @@ var (
 	ErrRollbackFailed   = core.ErrRollbackFailed
 	ErrTxnActive        = core.ErrTxnActive
 )
+
+// Observability types (see docs/OBSERVABILITY.md). Attach an Observer via
+// Config.Obs to collect metrics and per-cell trace events; a nil observer
+// keeps the engine on its allocation-free fast path.
+type (
+	// Observer bundles a metric registry, a bounded per-cell event ring
+	// and an optional JSONL trace sink.
+	Observer = obs.Observer
+	// ObserverOptions tunes NewObserver.
+	ObserverOptions = obs.Options
+	// CellEvent is one per-cell trace entry.
+	CellEvent = obs.CellEvent
+	// MetricsRegistry is the race-safe counter/gauge/histogram registry
+	// behind an Observer; it renders itself in the Prometheus text
+	// exposition format via WritePrometheus.
+	MetricsRegistry = obs.Registry
+)
+
+// NewObserver returns an observability layer ready to attach to
+// Config.Obs.
+func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
+
+// ReadTrace decodes a JSONL placement trace (the -trace-out format) back
+// into events.
+func ReadTrace(r io.Reader) ([]CellEvent, error) { return obs.ReadTrace(r) }
 
 // Verification types.
 type (

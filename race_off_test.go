@@ -1,0 +1,8 @@
+//go:build !race
+
+package mrlegal_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-regression guards skip under it because the race runtime
+// changes allocation counts.
+const raceEnabled = false

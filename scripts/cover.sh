@@ -1,0 +1,26 @@
+#!/bin/sh
+# Coverage floors for the observability work (docs/OBSERVABILITY.md):
+# internal/obs carries the highest floor because the layer is pure
+# plumbing that only tests exercise deliberately; internal/core's floor
+# pins the pre-observability level so instrumentation can never dilute it.
+set -eu
+
+check() {
+	pkg=$1
+	floor=$2
+	out=$(go test -cover "$pkg")
+	echo "$out"
+	pct=$(echo "$out" | awk '{for (i = 1; i <= NF; i++) if ($i ~ /%$/) print substr($i, 1, length($i) - 1)}')
+	if [ -z "$pct" ]; then
+		echo "cover.sh: no coverage figure for $pkg" >&2
+		exit 1
+	fi
+	ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+	if [ "$ok" != 1 ]; then
+		echo "cover.sh: $pkg coverage $pct% is below the $floor% floor" >&2
+		exit 1
+	fi
+}
+
+check mrlegal/internal/obs 90.0
+check mrlegal/internal/core 88.0
