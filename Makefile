@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search bench-json bench-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache bench-json bench-smoke clean
 
 check: vet build race cover
 
@@ -35,15 +35,25 @@ fuzz-search:
 	$(GO) test ./internal/core -run FuzzBestFirstMatchesExhaustive \
 		-fuzz FuzzBestFirstMatchesExhaustive -fuzztime 30s
 
+# Short fuzz session over the extraction-cache soundness property: a
+# snapshot accepted by validation must equal a fresh extraction after any
+# Insert/Remove/ShiftX interleaving (docs/PERFORMANCE.md §6).
+fuzz-cache:
+	$(GO) test ./internal/core -run FuzzCachedExtractionMatchesFresh \
+		-fuzz FuzzCachedExtractionMatchesFresh -fuzztime 30s
+
 # Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
-# Table-1 flow once per worker count) and BENCH_prune.json (best-first
-# search vs exhaustive sweep); see docs/PERFORMANCE.md. Results depend on
-# the machine; num_cpu/go_max_procs are recorded in the parallel artifact.
+# Table-1 flow once per worker count), BENCH_prune.json (best-first search
+# vs exhaustive sweep) and BENCH_cache.json (extraction cache off vs on);
+# see docs/PERFORMANCE.md. Results depend on the machine;
+# num_cpu/go_max_procs are recorded in the parallel artifact.
 bench-json:
 	$(GO) run ./cmd/mrbench -experiment parallel -scale 400 -workers 1,2,4 \
 		-json BENCH_parallel.json -no-progress
 	$(GO) run ./cmd/mrbench -experiment prune -scale 400 \
 		-json BENCH_prune.json -no-progress
+	$(GO) run ./cmd/mrbench -experiment cache -scale 200 -rx 4 -ry 1 \
+		-json BENCH_cache.json -no-progress
 
 # Quick allocation/latency smoke over the MLL hot path (CI gate).
 bench-smoke:

@@ -11,6 +11,8 @@
 //	        -json BENCH_parallel.json                # worker sweep (docs/PERFORMANCE.md)
 //	mrbench -experiment prune -scale 400 \
 //	        -json BENCH_prune.json                   # best-first search vs exhaustive
+//	mrbench -experiment cache -scale 400 \
+//	        -json BENCH_cache.json                   # extraction cache off vs on
 //	mrbench -experiment table1 -skip-ilp -metrics \
 //	        -trace-out trace.jsonl                   # + Prometheus dump & JSONL trace
 package main
@@ -19,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -29,12 +32,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
 		bench   = flag.String("bench", "fft_1", "benchmark for the window sweep")
 		seed    = flag.Int64("seed", 0, "seed offset for sensitivity runs")
+		rx      = flag.Int("rx", 0, "local region half-width Rx override (0 = paper default 30)")
+		ry      = flag.Int("ry", 0, "local region half-height Ry override (0 = paper default 5)")
 		nodes   = flag.Int("ilp-nodes", 0, "branch & bound node cap per local MILP (0 = default)")
 		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
 		workers = flag.String("workers", "", "comma-separated worker counts for -experiment parallel (default \"1,NumCPU\")")
@@ -56,6 +61,8 @@ func main() {
 		Scale:       *scale,
 		SkipILP:     *skipILP,
 		Seed:        *seed,
+		Rx:          *rx,
+		Ry:          *ry,
 		ILPMaxNodes: *nodes,
 	}
 	if *only != "" {
@@ -135,6 +142,12 @@ func main() {
 			stop()
 			os.Exit(2)
 		}
+		for _, w := range counts {
+			if w > runtime.NumCPU() {
+				fmt.Fprintf(os.Stderr, "mrbench: warning: -workers %d exceeds NumCPU %d; the run is marked oversubscribed in the report and its speedup is not meaningful\n",
+					w, runtime.NumCPU())
+			}
+		}
 		rep := experiments.RunParallel(cfg, counts)
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
@@ -169,6 +182,24 @@ func main() {
 			}
 		} else {
 			experiments.PrintPrune(os.Stdout, rep)
+		}
+	case "cache":
+		rep := experiments.RunCache(cfg)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WriteCacheJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintCache(os.Stdout, rep)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "mrbench: unknown experiment %q\n", *exp)

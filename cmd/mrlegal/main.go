@@ -44,6 +44,7 @@ func main() {
 		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
 		exact   = flag.Bool("exact", false, "use exact insertion-point evaluation instead of the paper's approximation")
 		exhaust = flag.Bool("exhaustive-search", false, "evaluate every insertion point instead of the pruned best-first search (same result, more work)")
+		noCache = flag.Bool("no-extract-cache", false, "disable the extraction cache in front of the MLL region extraction (same result, more work)")
 		useILP  = flag.Bool("ilp", false, "use the ILP local solver baseline instead of MLL")
 		seed    = flag.Int64("seed", 1, "retry-offset random seed")
 		quiet   = flag.Bool("q", false, "suppress the metrics report")
@@ -102,6 +103,7 @@ func main() {
 	cfg.PowerAlign = !*noalign
 	cfg.ExactEval = *exact
 	cfg.ExhaustiveSearch = *exhaust
+	cfg.ExtractCache = !*noCache
 	cfg.Seed = *seed
 	cfg.CellTimeout = *cellTimeout
 	cfg.AuditEvery = *auditEvery
@@ -197,6 +199,10 @@ func main() {
 		if st.CandidatesPruned > 0 || st.SearchNodesCut > 0 || st.WindowsPruned > 0 {
 			fmt.Fprintf(os.Stderr, "  best-first search: %d evaluated, %d candidates pruned, %d subtrees cut, %d windows pruned\n",
 				st.InsertionPoints, st.CandidatesPruned, st.SearchNodesCut, st.WindowsPruned)
+		}
+		if st.ExtractCacheHits > 0 || st.ExtractCacheMisses > 0 || st.ExtractCacheInvalidations > 0 {
+			fmt.Fprintf(os.Stderr, "  extract cache    : %d hits, %d misses, %d invalidated, %d seeded bounds\n",
+				st.ExtractCacheHits, st.ExtractCacheMisses, st.ExtractCacheInvalidations, st.SeedBoundsApplied)
 		}
 		if ph := l.Phases(); ph.Total() > 0 {
 			fmt.Fprintf(os.Stderr, "  MLL phase times  : extract %s, enumerate %s, evaluate %s, realize %s\n",

@@ -1,0 +1,479 @@
+package core
+
+// White-box tests for the generation-stamped extraction cache (cache.go):
+// counter semantics, the memoized no-insertion-point short-circuit, the
+// content-compare validation path, carry-forward seed bounds, and the
+// restore-equals-fresh-extraction property the snapshot reuse rests on.
+
+import (
+	"slices"
+	"testing"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/dtest"
+	"mrlegal/internal/faultinject"
+	"mrlegal/internal/geom"
+)
+
+// TestCacheNoIPMemoSkipsSearch: a clean no-insertion-point failure
+// registers its window key (two-touch admission), the second failure
+// builds the snapshot entry with a noIP verdict, and the third attempt
+// hits it and fails without re-extracting or re-searching; a content
+// change then invalidates the entry.
+func TestCacheNoIPMemoSkipsSearch(t *testing.T) {
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 10, 1, 0, 0)
+	b := dtest.Placed(d, 10, 1, 10, 0)
+	tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+	l, err := NewLegalizer(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission: the first failure only marks the key, the second stores.
+	for i := 1; i <= 2; i++ {
+		if l.MLL(tgt, 10, 0) {
+			t.Fatal("MLL should fail on a full row")
+		}
+	}
+	s1 := l.Stats()
+	if s1.ExtractCacheMisses != 2 || s1.ExtractCacheHits != 0 {
+		t.Fatalf("after admission: misses=%d hits=%d, want 2/0", s1.ExtractCacheMisses, s1.ExtractCacheHits)
+	}
+
+	if l.MLL(tgt, 10, 0) {
+		t.Fatal("retry should fail identically")
+	}
+	s2 := l.Stats()
+	if s2.ExtractCacheHits != 1 {
+		t.Fatalf("retry: hits=%d, want 1", s2.ExtractCacheHits)
+	}
+	if s2.InsertionPoints != s1.InsertionPoints {
+		t.Fatalf("memoized noIP retry evaluated insertion points: %d -> %d", s1.InsertionPoints, s2.InsertionPoints)
+	}
+	if s2.MLLFailures != 3 {
+		t.Fatalf("MLLFailures=%d, want 3", s2.MLLFailures)
+	}
+
+	// Changing the window content invalidates the entry; the retry then
+	// extracts fresh and succeeds in the opened gap.
+	l.G.Remove(b)
+	l.D.Unplace(b)
+	if !l.MLL(tgt, 10, 0) {
+		t.Fatal("MLL should succeed after the gap opened")
+	}
+	s3 := l.Stats()
+	if s3.ExtractCacheInvalidations != 1 {
+		t.Fatalf("invalidations=%d, want 1", s3.ExtractCacheInvalidations)
+	}
+}
+
+// TestCacheSnapshotRestoreServesOtherMasters: a stored snapshot is keyed
+// by the window, with failure verdicts per master — a same-dimensions cell
+// of a different master over the same window restores the snapshot and
+// runs its own (here successful) search on it.
+func TestCacheSnapshotRestoreServesOtherMasters(t *testing.T) {
+	d := dtest.Flat(2, 20)
+	dtest.Placed(d, 10, 2, 0, 0)
+	goodRail := d.RowBottomRail(0)
+	badRail := design.VSS
+	if goodRail == design.VSS {
+		badRail = design.VDD
+	}
+	// Same 5×2 dimensions, opposite bottom rails: with power alignment on,
+	// only goodRail can sit on the die's single bottom row.
+	bad := d.AddCell("bad", dtest.Master(d, 5, 2, badRail), 10, 0)
+	good := d.AddCell("good", dtest.Master(d, 5, 2, goodRail), 10, 0)
+	l, err := NewLegalizer(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures pass the two-touch admission and store the snapshot.
+	for i := 1; i <= 2; i++ {
+		if l.MLL(bad, 10, 0) {
+			t.Fatal("rail-incompatible target should fail")
+		}
+	}
+	if !l.MLL(good, 10, 0) {
+		t.Fatal("rail-compatible target should fit")
+	}
+	s := l.Stats()
+	if s.ExtractCacheMisses != 2 || s.ExtractCacheHits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 2/1 (same window key)", s.ExtractCacheMisses, s.ExtractCacheHits)
+	}
+	c := d.Cell(good)
+	if !c.Placed || c.X != 10 || c.Y != 0 {
+		t.Fatalf("good placed at (%d,%d) placed=%v, want (10,0) from the restored snapshot", c.X, c.Y, c.Placed)
+	}
+}
+
+// TestCacheContentCompareSurvivesForeignGenBump: a mutation outside the
+// window that bumps a shared segment's generation must not invalidate the
+// entry — validation falls back to the content compare and still reports a
+// hit. This is the property that keeps the counters worker-count
+// invariant.
+func TestCacheContentCompareSurvivesForeignGenBump(t *testing.T) {
+	d := dtest.Flat(1, 40)
+	dtest.Placed(d, 5, 1, 0, 0)
+	dtest.Placed(d, 5, 1, 5, 0)
+	edge := dtest.Placed(d, 5, 1, 10, 0) // straddles the window's right edge
+	far := dtest.Placed(d, 5, 1, 30, 0)  // same segment, outside the window
+	tgt := dtest.Unplaced(d, 2, 1, 5, 0)
+	cfg := DefaultConfig()
+	cfg.Rx, cfg.Ry = 5, 0 // window [0,12) on row 0
+	l, err := NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures pass the two-touch admission and store the snapshot.
+	for i := 1; i <= 2; i++ {
+		if l.MLL(tgt, 5, 0) {
+			t.Fatal("target should not fit in the packed window")
+		}
+	}
+	// Bump the row segment's generation without touching window content.
+	l.G.ShiftX(far, 31)
+	if l.MLL(tgt, 5, 0) {
+		t.Fatal("retry should fail identically")
+	}
+	s := l.Stats()
+	if s.ExtractCacheHits != 1 || s.ExtractCacheInvalidations != 0 {
+		t.Fatalf("hits=%d invalidations=%d, want 1/0: foreign generation bump must not invalidate", s.ExtractCacheHits, s.ExtractCacheInvalidations)
+	}
+
+	// An in-window change does invalidate (and here opens enough space).
+	l.G.Remove(edge)
+	l.D.Unplace(edge)
+	if !l.MLL(tgt, 5, 0) {
+		t.Fatal("target should fit after the edge cell left")
+	}
+	s = l.Stats()
+	if s.ExtractCacheInvalidations != 1 {
+		t.Fatalf("invalidations=%d, want 1", s.ExtractCacheInvalidations)
+	}
+}
+
+// TestCacheSeedBoundCarryForward: a failed realization stores its best
+// candidate cost; the retry over unchanged content seeds the best-first
+// incumbent with it and still selects the identical candidate (the seed is
+// admissible and pruning is strict).
+func TestCacheSeedBoundCarryForward(t *testing.T) {
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 5, 1, 0, 0)
+	tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+	cfg := DefaultConfig()
+	inj := &faultinject.Injector{FailInsertEvery: 1} // every realization insert fails
+	cfg.Faults = inj
+	l, err := NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if l.MLL(tgt, 10, 0) {
+		t.Fatal("realization should fail under injection")
+	}
+	cost1 := l.sc.plan.cost
+	s1 := l.Stats()
+	if s1.SeedBoundsApplied != 0 {
+		t.Fatalf("first attempt had no seed to apply, got %d", s1.SeedBoundsApplied)
+	}
+
+	if l.MLL(tgt, 10, 0) {
+		t.Fatal("retry realization should fail under injection")
+	}
+	cost2 := l.sc.plan.cost
+	s2 := l.Stats()
+	if s2.ExtractCacheHits != 1 {
+		t.Fatalf("retry: hits=%d, want 1", s2.ExtractCacheHits)
+	}
+	if s2.SeedBoundsApplied != 1 {
+		t.Fatalf("retry: SeedBoundsApplied=%d, want 1", s2.SeedBoundsApplied)
+	}
+	if cost1 != cost2 {
+		t.Fatalf("seeded search changed the chosen candidate cost: %v -> %v", cost1, cost2)
+	}
+	if inj.InjectedInsertFailures != 2 {
+		t.Fatalf("injected failures=%d, want 2 (the seeded retry must still search)", inj.InjectedInsertFailures)
+	}
+}
+
+// TestCacheStaleSeedNeverApplied: once the window content changes, the
+// stored seed bound must not reach the search — a stale incumbent could
+// prune the true optimum.
+func TestCacheStaleSeedNeverApplied(t *testing.T) {
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 5, 1, 0, 0)
+	tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+	extra := dtest.Unplaced(d, 2, 1, 16, 0)
+	cfg := DefaultConfig()
+	cfg.Faults = &faultinject.Injector{FailInsertEvery: 1}
+	l, err := NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if l.MLL(tgt, 10, 0) {
+		t.Fatal("realization should fail under injection")
+	}
+	// Change in-window content: the seed entry is now stale.
+	l.D.Place(extra, 16, 0)
+	if err := l.G.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if l.MLL(tgt, 10, 0) {
+		t.Fatal("retry realization should fail under injection")
+	}
+	s := l.Stats()
+	if s.SeedBoundsApplied != 0 {
+		t.Fatalf("stale seed was applied %d times, want 0", s.SeedBoundsApplied)
+	}
+	if s.ExtractCacheInvalidations != 1 {
+		t.Fatalf("invalidations=%d, want 1", s.ExtractCacheInvalidations)
+	}
+}
+
+// TestCacheSeedIgnoredByExhaustiveSearch: the carry-forward incumbent only
+// feeds the best-first search; the exhaustive sweep evaluates everything
+// and must never count a seed application.
+func TestCacheSeedIgnoredByExhaustiveSearch(t *testing.T) {
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 5, 1, 0, 0)
+	tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+	cfg := DefaultConfig()
+	cfg.ExhaustiveSearch = true
+	cfg.Faults = &faultinject.Injector{FailInsertEvery: 1}
+	l, err := NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if l.MLL(tgt, 10, 0) {
+			t.Fatal("realization should fail under injection")
+		}
+	}
+	if s := l.Stats(); s.SeedBoundsApplied != 0 {
+		t.Fatalf("SeedBoundsApplied=%d under exhaustive search, want 0", s.SeedBoundsApplied)
+	}
+}
+
+// TestCacheDisabledConfigs: a Solver or an insertion-point cap disables
+// the cache entirely — no counters move.
+func TestCacheDisabledConfigs(t *testing.T) {
+	run := func(name string, mut func(*Config)) {
+		t.Run(name, func(t *testing.T) {
+			d := dtest.Flat(1, 20)
+			dtest.Placed(d, 10, 1, 0, 0)
+			dtest.Placed(d, 10, 1, 10, 0)
+			tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+			cfg := DefaultConfig()
+			mut(&cfg)
+			l, err := NewLegalizer(d, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if l.MLL(tgt, 10, 0) {
+					t.Fatal("MLL should fail on a full row")
+				}
+			}
+			s := l.Stats()
+			if s.ExtractCacheHits != 0 || s.ExtractCacheMisses != 0 || s.ExtractCacheInvalidations != 0 {
+				t.Fatalf("cache counters moved in a disabled config: %+v", s)
+			}
+		})
+	}
+	run("off", func(c *Config) { c.ExtractCache = false })
+	run("capped", func(c *Config) { c.MaxInsertionPoints = 100 })
+}
+
+// TestCacheCapEvicts: the FIFO trim keeps the entry table bounded.
+func TestCacheCapEvicts(t *testing.T) {
+	d := dtest.Flat(1, 200)
+	for x := 0; x < 200; x += 10 {
+		dtest.Placed(d, 10, 1, x, 0)
+	}
+	tgt := dtest.Unplaced(d, 5, 1, 0, 0)
+	cfg := DefaultConfig()
+	cfg.Rx, cfg.Ry = 5, 0
+	cfg.ExtractCacheCap = 3
+	l, err := NewLegalizer(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight distinct windows, each storing a noIP entry. Outside a Legalize
+	// run the trim happens at every store.
+	for i := 0; i < 8; i++ {
+		if l.MLL(tgt, float64(10+20*i), 0) {
+			t.Fatal("MLL should fail on a full row")
+		}
+	}
+	if n := len(l.cache.entries); n > 3 {
+		t.Fatalf("cache holds %d entries, cap is 3", n)
+	}
+	if len(l.cache.order) != len(l.cache.entries) {
+		t.Fatalf("order list (%d) out of sync with entries (%d)", len(l.cache.order), len(l.cache.entries))
+	}
+}
+
+// fuzzOps applies a fuzz-directed sequence of legal grid mutations
+// (Remove, Insert at a probed-free slot, in-gap ShiftX) to the design.
+type fuzzState struct {
+	t  *testing.T
+	l  *Legalizer
+	d  *design.Design
+	id []design.CellID
+}
+
+func (f *fuzzState) apply(op, sel, a, b byte) {
+	d, g := f.d, f.l.G
+	id := f.id[int(sel)%len(f.id)]
+	c := d.Cell(id)
+	switch op % 3 {
+	case 0: // remove
+		if c.Placed {
+			g.Remove(id)
+			d.Unplace(id)
+		}
+	case 1: // insert at a probed-free slot
+		if !c.Placed {
+			x := int(a) % (40 - c.W)
+			y := int(b) % (d.NumRows() - c.H + 1)
+			if g.FreeAt(x, y, c.W, c.H) {
+				d.Place(id, x, y)
+				if err := g.Insert(id); err != nil {
+					f.t.Fatalf("insert after FreeAt: %v", err)
+				}
+			}
+		}
+	case 2: // shift within the surrounding gap
+		if c.Placed {
+			lo, hi := 0, 1<<30
+			for h := 0; h < c.H; h++ {
+				s := g.SegmentAt(c.Y+h, c.X)
+				i := g.IndexOf(s, id)
+				cells := s.Cells()
+				rlo, rhi := s.Span.Lo, s.Span.Hi
+				if i > 0 {
+					p := d.Cell(cells[i-1])
+					rlo = p.X + p.W
+				}
+				if i+1 < len(cells) {
+					rhi = d.Cell(cells[i+1]).X
+				}
+				lo, hi = max(lo, rlo), min(hi, rhi-c.W)
+			}
+			newX := min(max(c.X+int(a)%9-4, lo), hi)
+			if newX != c.X && lo <= hi {
+				g.ShiftX(id, newX)
+			}
+		}
+	}
+}
+
+// FuzzCachedExtractionMatchesFresh pins the theorem the snapshot reuse
+// rests on: whenever verifyMemo accepts an entry after an arbitrary
+// interleaving of Insert/Remove/ShiftX, (a) the window content really is
+// signature-identical, and (b) restoring the snapshot reproduces a fresh
+// extraction exactly — same local cells, same per-row segments and lists,
+// same xL/xR bounds.
+func FuzzCachedExtractionMatchesFresh(f *testing.F) {
+	f.Add([]byte{3, 10, 8, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 20, 6, 2, 0, 7, 7, 1, 0, 30, 2, 2, 3, 200, 0, 0, 5, 40, 1})
+	f.Add([]byte{12, 1, 14, 2, 2, 2, 3, 0, 2, 4, 1, 1, 0, 6, 2, 6, 22, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := dtest.Flat(6, 40)
+		st := &fuzzState{t: t, d: d}
+		for _, s := range []struct{ w, h, x, y int }{
+			{5, 1, 0, 0}, {3, 1, 10, 0}, {4, 2, 20, 0}, {6, 1, 0, 1},
+			{2, 2, 30, 1}, {8, 1, 0, 3}, {3, 2, 20, 3}, {4, 1, 34, 4},
+		} {
+			st.id = append(st.id, dtest.Placed(d, s.w, s.h, s.x, s.y))
+		}
+		l, err := NewLegalizer(d, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.l = l
+
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			v := data[pos]
+			pos++
+			return v
+		}
+
+		win := geom.Rect{
+			X: int(next())%44 - 4,
+			Y: int(next())%8 - 1,
+			W: int(next())%24 + 2,
+			H: int(next())%7 + 1,
+		}
+		key := clipWin(l.G, win)
+		if key.Empty() {
+			return
+		}
+
+		// Extract and capture an entry the way cachedExtract + cacheStore do.
+		sc1 := newScratch()
+		sc1.extract(l.G, win)
+		m := &extractMemo{win: key}
+		m.deps = l.captureDeps(key, nil)
+		m.rowCnt, m.content = l.captureContent(key, nil, nil)
+		snapshotScratch(sc1, m)
+
+		for n := int(next()) % 12; n > 0; n-- {
+			st.apply(next(), next(), next(), next())
+		}
+
+		valid := l.verifyMemo(m)
+		rc, recs := l.captureContent(key, nil, nil)
+		contentEq := slices.Equal(rc, m.rowCnt) && slices.Equal(recs, m.content)
+		if valid != contentEq {
+			t.Fatalf("verifyMemo=%v but content equality=%v (win %v)", valid, contentEq, key)
+		}
+		if !valid {
+			return
+		}
+
+		fresh := newScratch()
+		rF := fresh.extract(l.G, win)
+		rest := newScratch()
+		rR := l.restoreFromMemo(rest, m)
+
+		if rF.Win != rR.Win {
+			t.Fatalf("windows differ: fresh %v restored %v", rF.Win, rR.Win)
+		}
+		if !slices.Equal(fresh.ids, rest.ids) {
+			t.Fatalf("local IDs differ: fresh %v restored %v", fresh.ids, rest.ids)
+		}
+		if !slices.Equal(fresh.cells, rest.cells) {
+			t.Fatalf("local cells (incl. xL/xR) differ:\nfresh    %+v\nrestored %+v", fresh.cells, rest.cells)
+		}
+		if !slices.Equal(fresh.multiRow, rest.multiRow) || !slices.Equal(fresh.xOrder, rest.xOrder) {
+			t.Fatalf("multiRow/xOrder differ")
+		}
+		if fresh.sortedIDs != rest.sortedIDs {
+			t.Fatalf("sortedIDs differ: %d vs %d", fresh.sortedIDs, rest.sortedIDs)
+		}
+		if len(rF.Segs) != len(rR.Segs) {
+			t.Fatalf("seg counts differ: %d vs %d", len(rF.Segs), len(rR.Segs))
+		}
+		for rel := range rF.Segs {
+			a, b := &rF.Segs[rel], &rR.Segs[rel]
+			if a.Row != b.Row || a.Valid != b.Valid || a.Span != b.Span || !slices.Equal(a.Cells, b.Cells) {
+				t.Fatalf("row %d segs differ:\nfresh    %+v\nrestored %+v", rel, *a, *b)
+			}
+			if !slices.Equal(fresh.rowIdx[rel], rest.rowIdx[rel]) {
+				t.Fatalf("row %d index lists differ", rel)
+			}
+			if !slices.Equal(fresh.rowPos[rel], rest.rowPos[rel]) {
+				t.Fatalf("row %d position tables differ", rel)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package core_test
+
+// Full-pipeline equivalence for the extraction cache: on every Table-1
+// benchmark and at several worker counts, cache-on and cache-off runs must
+// produce byte-identical placements, failure sets and verifier output —
+// the cache may only skip provably identical work, never change the
+// answer. The golden suite pins the same property against checksums
+// (go test ./internal/experiments -extract-cache {on,off}); this test
+// keeps the guarantee in the plain `go test ./...` path.
+
+import (
+	"bytes"
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/gp"
+)
+
+// neutralizeCacheCounters zeroes the stats fields that legitimately
+// differ between the cache states: the cache counters themselves, and the
+// search-activity counters (a memoized no-insertion-point verdict skips
+// whole searches, so evaluation and prune counts shrink with the cache
+// on). Every outcome-describing counter stays in the == comparison.
+func neutralizeCacheCounters(s core.Stats) core.Stats {
+	s.ExtractCacheHits = 0
+	s.ExtractCacheMisses = 0
+	s.ExtractCacheInvalidations = 0
+	s.SeedBoundsApplied = 0
+	return neutralizeSearchCounters(s)
+}
+
+func TestCacheMatchesUncachedOnTable1(t *testing.T) {
+	scale := 2000
+	if testing.Short() {
+		scale = 4000
+	}
+	for _, spec := range bengen.Table1Specs(scale) {
+		t.Run(spec.Name, func(t *testing.T) {
+			b := bengen.Generate(spec)
+			gp.Place(b.D, b.NL, gp.Config{Seed: spec.Seed})
+			onCfg := core.DefaultConfig()
+			onCfg.Seed = 3
+			offCfg := onCfg
+			offCfg.ExtractCache = false
+			for _, workers := range []int{1, 4} {
+				on := legalizeWithWorkers(t, b.D.Clone(), onCfg, workers)
+				off := legalizeWithWorkers(t, b.D.Clone(), offCfg, workers)
+				if !bytes.Equal(on.placement, off.placement) {
+					t.Errorf("workers=%d: placements differ between cache on and off", workers)
+				}
+				if on.failures != off.failures {
+					t.Errorf("workers=%d: failure sets differ:\ncache on:\n%scache off:\n%s",
+						workers, on.failures, off.failures)
+				}
+				if on.violations != off.violations {
+					t.Errorf("workers=%d: verifier output differs:\ncache on:\n%scache off:\n%s",
+						workers, on.violations, off.violations)
+				}
+				if on.rounds != off.rounds {
+					t.Errorf("workers=%d: rounds differ: cache on %d vs off %d",
+						workers, on.rounds, off.rounds)
+				}
+				if os, fs := neutralizeCacheCounters(on.stats), neutralizeCacheCounters(off.stats); os != fs {
+					t.Errorf("workers=%d: outcome stats differ:\ncache on  %+v\ncache off %+v", workers, os, fs)
+				}
+				if off.stats.ExtractCacheHits != 0 || off.stats.ExtractCacheMisses != 0 {
+					t.Errorf("workers=%d: cache-off run moved cache counters: %+v", workers, off.stats)
+				}
+			}
+		})
+	}
+}

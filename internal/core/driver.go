@@ -252,6 +252,11 @@ func (l *Legalizer) roundTargets(cells []design.CellID, k, rx, ry int, st *runSt
 // concurrently (see placeRoundParallel); commits always happen in cell
 // order, so both paths produce identical results.
 func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []design.CellID {
+	// Trim the extraction cache only at round boundaries: a mid-round
+	// eviction could make a later lookup's hit/miss verdict depend on how
+	// many unrelated stores a particular worker interleaving committed
+	// first (see cache.go).
+	l.cacheTrim()
 	rx, ry := l.Cfg.Rx, l.Cfg.Ry
 	if l.Cfg.EscalateWindow && k > 4 {
 		scale := 1 + (k-4)/2

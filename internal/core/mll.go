@@ -55,6 +55,24 @@ type Config struct {
 	// benchmarks (mrbench -experiment prune).
 	ExhaustiveSearch bool
 
+	// ExtractCache enables the generation-stamped window memo in front of
+	// ExtractRegion (cache.go): repeated MLL attempts over an unchanged
+	// window restore the extracted snapshot by copy, a memoized
+	// no-insertion-point verdict skips extraction and search outright, and
+	// a failed realization seeds the next attempt's best-first incumbent.
+	// Placements are byte-identical with the cache on or off — the memo
+	// only short-circuits provably identical work (docs/PERFORMANCE.md §6)
+	// — though search-activity counters (InsertionPoints, prune counts)
+	// naturally shrink when whole searches are skipped. Ignored when an
+	// external Solver is set or MaxInsertionPoints > 0: a capped search
+	// proves nothing about the uncapped candidate set. On in DefaultConfig.
+	ExtractCache bool
+
+	// ExtractCacheCap bounds the number of retained window memos (FIFO by
+	// first insertion, trimmed at round boundaries); <= 0 means the
+	// default of 64.
+	ExtractCacheCap int
+
 	// EscalateWindow is an implementation extension over the paper: when a
 	// cell stays unplaced after several retry rounds, the local-region
 	// window grows with the round number until it covers the chip. The
@@ -143,6 +161,7 @@ func DefaultConfig() Config {
 		Seed:               1,
 		MaxRounds:          64,
 		MaxInsertionPoints: 0,
+		ExtractCache:       true,
 		EscalateWindow:     true,
 		TallFirst:          true,
 	}
@@ -170,6 +189,16 @@ type Stats struct {
 	CandidatesPruned int64
 	SearchNodesCut   int64
 	WindowsPruned    int64
+
+	// Extraction-cache activity (all zero when Config.ExtractCache is off
+	// or the cache is disabled by a Solver or an insertion-point cap).
+	// Lookup verdicts are content-based — the generation counters are only
+	// a validation fast path — so the counters are worker-count invariant
+	// like every other field; see the cache.go file comment.
+	ExtractCacheHits          int64 // lookups that found a still-valid entry
+	ExtractCacheMisses        int64 // lookups that found no entry
+	ExtractCacheInvalidations int64 // lookups that found a stale entry
+	SeedBoundsApplied         int64 // searches seeded with a carry-forward incumbent
 
 	CellsPushed int64 // local cells moved by realizations
 	RetryRounds int   // extra Algorithm-1 rounds needed
@@ -212,6 +241,17 @@ type Legalizer struct {
 	// Workers=1 rounds); parallel rounds draw from pool instead.
 	sc   *scratch
 	pool []*scratch
+
+	// cache is the generation-stamped extraction cache (cache.go), lazily
+	// created by the first store. Planners read it under gridMu's read
+	// side; all mutation happens on the commit side.
+	cache *extractCache
+
+	// pendingSc carries a scratch whose failed attempt wants to publish a
+	// cache entry; the publish (and its content capture) must wait until
+	// the attempt's transaction rollback has restored plan-time state, so
+	// cacheStore parks the scratch here and attempt flushes it (cache.go).
+	pendingSc *scratch
 
 	// gridMu guards design and grid state during parallel rounds:
 	// planners take the read side for the snapshot phase (snap/FreeAt/
@@ -302,6 +342,9 @@ func (l *Legalizer) mllAt(id design.CellID, tx, ty float64, rx, ry int) error {
 	} else {
 		err = l.realizePlan(sc)
 	}
+	if err != nil {
+		l.cacheStore(sc, err)
+	}
 	l.mergeScratch(sc)
 	return err
 }
@@ -373,7 +416,7 @@ func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, r
 		W: 2*rx + c.W,
 		H: 2*ry + c.H,
 	}
-	r := sc.extract(l.G, win)
+	r := l.cachedExtract(sc, c, win, tx, ty)
 	if l.timing() {
 		sc.phases.Extract += time.Since(t0)
 	}
@@ -384,6 +427,16 @@ func (l *Legalizer) extractPlan(sc *scratch, id design.CellID, tx, ty float64, r
 // best insertion point (or records the failure) from the snapshot alone,
 // without touching the grid, so it runs outside gridMu.
 func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
+	if sc.memoNoIP {
+		// A cached, still-valid entry proved no insertion point exists for
+		// this target shape (the verdict is target-position independent;
+		// see memoOutcome). Skip the search the way the fresh path would
+		// have failed it.
+		sc.stats.MLLFailures++
+		sc.plan.kind = planFailed
+		sc.plan.err = ErrNoInsertionPoint
+		return
+	}
 	c := l.D.Cell(sc.plan.id)
 	var t0 time.Time
 	if l.timing() {
@@ -402,6 +455,7 @@ func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
 		var ev Evaluation
 		ip, ev = l.bestInsertionPoint(r, c, tx, ty)
 		x = ev.X
+		sc.plan.cost = ev.Cost
 	}
 	if l.timing() {
 		sc.phases.Enumerate += time.Since(t0) - (sc.phases.Evaluate - evalBefore)
@@ -427,7 +481,19 @@ func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
 // the coordinator additionally holds gridMu's write side. The direct
 // placement retries as an inline MLL when the grid insert fails (fault
 // injection is the only such path — the planned slot was probed free).
+// A failed commit publishes the attempt's knowledge — a no-insertion-point
+// verdict or a carry-forward seed — into the extraction cache; running on
+// the commit side is what makes the store ordering worker-count invariant
+// (see cache.go).
 func (l *Legalizer) commitPlan(sc *scratch) error {
+	err := l.commitPlanInner(sc)
+	if err != nil {
+		l.cacheStore(sc, err)
+	}
+	return err
+}
+
+func (l *Legalizer) commitPlanInner(sc *scratch) error {
 	p := &sc.plan
 	switch p.kind {
 	case planFailed:
@@ -588,6 +654,16 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 		r.enumerate(c.W, c.H, allow, score)
 	} else {
 		incumbent := math.Inf(1)
+		if sc.seedOK {
+			// Carry-forward bound from a prior failed realization over
+			// content-identical state: the prior best candidate still
+			// exists and costs at most seedCost at this target (costs are
+			// 1-Lipschitz in tx), so this is an admissible incumbent —
+			// pruning stays strict, so the winner under betterCand is
+			// unchanged (docs/PERFORMANCE.md §6).
+			incumbent = sc.seedCost
+			sc.stats.SeedBoundsApplied++
+		}
 		r.searchBest(c.W, c.H, tx, ty, allow, &incumbent, func(ip *InsertionPoint) bool {
 			if !score(ip) {
 				return false

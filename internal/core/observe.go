@@ -52,6 +52,10 @@ type obsMetrics struct {
 	candidatesPruned *obs.Counter
 	searchNodesCut   *obs.Counter
 	windowsPruned    *obs.Counter
+	cacheHits        *obs.Counter
+	cacheMisses      *obs.Counter
+	cacheInvalidated *obs.Counter
+	seedBounds       *obs.Counter
 	cellsPushed      *obs.Counter
 
 	// Transactions and audits.
@@ -99,6 +103,10 @@ func newObsMetrics(o *obs.Observer) *obsMetrics {
 		candidatesPruned: r.Counter("mrlegal_search_candidates_pruned_total", "Fully-formed insertion points skipped by the best-first lower bound."),
 		searchNodesCut:   r.Counter("mrlegal_search_nodes_cut_total", "Partial-combination subtrees cut by the best-first lower bound."),
 		windowsPruned:    r.Counter("mrlegal_search_windows_pruned_total", "Candidate bottom rows never entered by the best-first search."),
+		cacheHits:        r.Counter("mrlegal_extract_cache_hits_total", "Extraction-cache lookups that found a still-valid window memo."),
+		cacheMisses:      r.Counter("mrlegal_extract_cache_misses_total", "Extraction-cache lookups that found no entry for the window."),
+		cacheInvalidated: r.Counter("mrlegal_extract_cache_invalidations_total", "Extraction-cache lookups that found a stale entry (window content changed)."),
+		seedBounds:       r.Counter("mrlegal_seed_bounds_applied_total", "Best-first searches seeded with a carry-forward incumbent from a prior attempt."),
 		cellsPushed:      r.Counter("mrlegal_cells_pushed_total", "Local cells moved aside by MLL realizations."),
 
 		txnCommits:     r.Counter("mrlegal_txn_commits_total", "Transactions committed."),
@@ -142,6 +150,10 @@ func (m *obsMetrics) addMerge(s *Stats, p *PhaseTimes) {
 	m.candidatesPruned.Add(s.CandidatesPruned)
 	m.searchNodesCut.Add(s.SearchNodesCut)
 	m.windowsPruned.Add(s.WindowsPruned)
+	m.cacheHits.Add(s.ExtractCacheHits)
+	m.cacheMisses.Add(s.ExtractCacheMisses)
+	m.cacheInvalidated.Add(s.ExtractCacheInvalidations)
+	m.seedBounds.Add(s.SeedBoundsApplied)
 	m.cellsPushed.Add(s.CellsPushed)
 	for i, d := range [4]time.Duration{p.Extract, p.Enumerate, p.Evaluate, p.Realize} {
 		if d > 0 {

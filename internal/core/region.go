@@ -154,11 +154,12 @@ func ExtractRegion(g *segment.Grid, win geom.Rect) *Region {
 // returned region aliases the scratch; the next extract invalidates it.
 func (sc *scratch) extract(g *segment.Grid, win geom.Rect) *Region {
 	d := g.Design()
-	// Clip the window vertically to existing rows; x is left as-is, the
-	// per-segment intersection below handles horizontal clipping.
-	yLo := max(win.Y, 0)
-	yHi := min(win.Y2(), d.NumRows())
-	win = geom.Rect{X: win.X, Y: yLo, W: win.W, H: yHi - yLo}
+	// Normalize the window to the grid: rows outside [0, NumRows) and
+	// x-extent beyond the die span hold no segments, so clipping changes
+	// nothing the fixpoint can see. The clipped rect doubles as the
+	// extraction-cache key (clipWin), so fresh and restored regions carry
+	// the same Win.
+	win = clipWin(g, win)
 	r := &sc.region
 	*r = Region{D: d, G: g, Win: win, sc: sc}
 	sc.ids = sc.ids[:0]

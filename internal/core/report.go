@@ -83,6 +83,10 @@ func (r *Report) Summary(maxFailures int) string {
 		fmt.Fprintf(&b, "\n  search: %d evaluated, %d candidates pruned, %d subtrees cut, %d windows pruned",
 			s.InsertionPoints, s.CandidatesPruned, s.SearchNodesCut, s.WindowsPruned)
 	}
+	if s := r.Stats; s.ExtractCacheHits > 0 || s.ExtractCacheMisses > 0 || s.ExtractCacheInvalidations > 0 {
+		fmt.Fprintf(&b, "\n  extract cache: %d hits, %d misses, %d invalidated, %d seeded bounds",
+			s.ExtractCacheHits, s.ExtractCacheMisses, s.ExtractCacheInvalidations, s.SeedBoundsApplied)
+	}
 	for i, f := range r.Failed {
 		if maxFailures > 0 && i >= maxFailures {
 			fmt.Fprintf(&b, "\n  ... and %d more failures", len(r.Failed)-i)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
 )
 
 // PhaseTimes breaks one legalization run's MLL work down by pipeline
@@ -50,6 +51,7 @@ type plan struct {
 	x, y   int             // planDirect: snapped position
 	ip     *InsertionPoint // planMLL: chosen insertion point (scratch-backed)
 	ipX    int             // planMLL: target x
+	cost   float64         // planMLL: the chosen candidate's evaluated cost
 	err    error           // planFailed: reason
 }
 
@@ -108,6 +110,18 @@ type scratch struct {
 	movedMark []bool  // by local index
 	movedList []int32
 
+	// --- extraction cache (per-attempt lookup/capture state; cache.go) ---
+	memo      *extractMemo // valid entry found by the lookup, nil otherwise
+	memoKey   geom.Rect    // clipped window key of the current attempt
+	memoKeyOK bool         // a cache lookup happened this attempt
+	memoNoIP  bool         // entry proves no insertion point for this shape
+	seedOK    bool         // a carry-forward incumbent is available
+	seedCost  float64      // the incumbent (prior cost + |Δtx|)
+	storeKind uint8        // pending post-rollback publish (storeNone/NoIP/Seed)
+	depSegs   []depRec     // dependency capture buffer (flush time, reused)
+	ctRows    []int32      // content signature buffer: per-row counts
+	ctRecs    []contentRec // content signature buffer: cell records
+
 	// --- per-attempt plan, stats shard, phase timing ---
 	plan   plan
 	stats  Stats
@@ -158,6 +172,10 @@ func (l *Legalizer) mergeScratch(sc *scratch) {
 	d.WindowsPruned += s.WindowsPruned
 	d.CellsPushed += s.CellsPushed
 	d.RetryRounds += s.RetryRounds
+	d.ExtractCacheHits += s.ExtractCacheHits
+	d.ExtractCacheMisses += s.ExtractCacheMisses
+	d.ExtractCacheInvalidations += s.ExtractCacheInvalidations
+	d.SeedBoundsApplied += s.SeedBoundsApplied
 	sc.stats = Stats{}
 	l.phases.add(sc.phases)
 	sc.phases = PhaseTimes{}

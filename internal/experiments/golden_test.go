@@ -27,6 +27,13 @@ import (
 //	go test ./internal/experiments -run TestGoldenPlacements -update-golden
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_checksums.txt from this run")
 
+// extractCache forces the extraction cache on or off across the whole
+// suite. The pinned checksums must hold in every state — CI runs the suite
+// once with "on" and once with "off" to pin the cache's byte-identity
+// guarantee against the same golden file (default "auto" = DefaultConfig,
+// which has the cache on).
+var extractCacheFlag = flag.String("extract-cache", "auto", "extraction cache state for the golden suite: auto | on | off")
+
 // goldenScale keeps the 20-benchmark × 4-configuration sweep fast enough
 // for CI race mode while still exercising multi-row cells and retries.
 const goldenScale = 800
@@ -47,6 +54,12 @@ func goldenConfigs() []struct {
 			cfg := core.DefaultConfig()
 			cfg.Workers = workers
 			cfg.ExhaustiveSearch = exhaustive
+			switch *extractCacheFlag {
+			case "on":
+				cfg.ExtractCache = true
+			case "off":
+				cfg.ExtractCache = false
+			}
 			tag := fmt.Sprintf("w%d/", workers)
 			if exhaustive {
 				tag += "exhaustive"
@@ -118,6 +131,11 @@ func writeGolden(t *testing.T, sums map[string]uint64) {
 // byte-identical across worker counts and search modes — and (b) they
 // match the pinned golden values.
 func TestGoldenPlacements(t *testing.T) {
+	switch *extractCacheFlag {
+	case "auto", "on", "off":
+	default:
+		t.Fatalf("-extract-cache: bad value %q (want auto, on or off)", *extractCacheFlag)
+	}
 	specs := bengen.Table1Specs(goldenScale)
 	configs := goldenConfigs()
 

@@ -26,7 +26,19 @@ type Segment struct {
 	// cells overlapping this segment's row within Span, ordered by
 	// ascending x. Maintained by Grid.
 	cells []design.CellID
+
+	// gen counts content mutations of this segment's cell list, including
+	// in-place x shifts of listed cells. It is monotonic — rollbacks replay
+	// Insert/Remove and therefore advance it further, never rewind — so two
+	// equal generations imply byte-identical list content, which lets
+	// derived snapshots (core's extraction cache) validate in O(1).
+	gen uint64
 }
+
+// Generation returns the segment's mutation counter. It advances on every
+// Insert, Remove or ShiftX touching the segment and on RebuildOccupancy;
+// equal generations imply identical cell-list content.
+func (s *Segment) Generation() uint64 { return s.gen }
 
 // Cells returns the ordered cell list. The slice is owned by the segment;
 // callers must not mutate it.
@@ -37,8 +49,9 @@ func (s *Segment) NumCells() int { return len(s.cells) }
 
 // Grid holds all segments of a design and the per-segment cell lists.
 type Grid struct {
-	d    *design.Design
-	rows [][]*Segment // rows[y] sorted by Span.Lo
+	d     *design.Design
+	rows  [][]*Segment // rows[y] sorted by Span.Lo
+	xspan geom.Span    // union of row extents: the horizontal die span
 }
 
 // Build constructs the segment decomposition for d from its rows,
@@ -48,6 +61,12 @@ func Build(d *design.Design) *Grid {
 	g := &Grid{d: d, rows: make([][]*Segment, d.NumRows())}
 	for ri := range d.Rows {
 		row := &d.Rows[ri]
+		if ri == 0 {
+			g.xspan = row.Span
+		} else {
+			g.xspan.Lo = min(g.xspan.Lo, row.Span.Lo)
+			g.xspan.Hi = max(g.xspan.Hi, row.Span.Hi)
+		}
 		blocked := blockedSpans(d, row)
 		free := subtractSpans(row.Span, blocked)
 		segs := make([]*Segment, 0, len(free))
@@ -119,6 +138,12 @@ func subtractSpans(base geom.Span, blocked []geom.Span) []geom.Span {
 // Design returns the design this grid indexes.
 func (g *Grid) Design() *design.Design { return g.d }
 
+// XSpan returns the union of all row extents — the horizontal die span.
+// Every segment (and so every placed cell) lies inside it, which is what
+// lets window clipping (core's extraction cache key) normalize away
+// off-die window area.
+func (g *Grid) XSpan() geom.Span { return g.xspan }
+
 // RowSegments returns the segments of row y, left to right. The slice is
 // owned by the grid.
 func (g *Grid) RowSegments(y int) []*Segment {
@@ -180,6 +205,7 @@ func (g *Grid) Insert(id design.CellID) error {
 		s.cells = append(s.cells, design.NoCell)
 		copy(s.cells[i+1:], s.cells[i:])
 		s.cells[i] = id
+		s.gen++
 	}
 	return nil
 }
@@ -198,6 +224,7 @@ func (g *Grid) Remove(id design.CellID) {
 			continue
 		}
 		s.cells = append(s.cells[:i], s.cells[i+1:]...)
+		s.gen++
 	}
 }
 
@@ -230,9 +257,17 @@ func (g *Grid) IndexOf(s *Segment, id design.CellID) int { return g.indexIn(s, i
 // ShiftX moves a placed cell horizontally to newX, updating its position.
 // The relative order within every segment list must be preserved by the
 // caller (the legalizer only shifts cells within their gaps), so the lists
-// need no structural update — only the design position changes.
+// need no structural update — only the design position changes, plus a
+// generation bump on every segment whose list content (the cell's x) the
+// shift rewrites.
 func (g *Grid) ShiftX(id design.CellID, newX int) {
-	g.d.Cells[id].X = newX
+	c := &g.d.Cells[id]
+	for h := 0; h < c.H; h++ {
+		if s := g.SegmentAt(c.Y+h, c.X); s != nil {
+			s.gen++
+		}
+	}
+	c.X = newX
 }
 
 // FreeAt reports whether the rectangle (x, y, w, h) lies fully on free
@@ -293,6 +328,7 @@ func (g *Grid) RebuildOccupancy() error {
 	for _, segs := range g.rows {
 		for _, s := range segs {
 			s.cells = s.cells[:0]
+			s.gen++ // the clear itself is a content change
 		}
 	}
 	var firstErr error
