@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache bench-json bench-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit bench-json bench-smoke serve-smoke clean
 
 check: vet build race cover
 
@@ -54,6 +54,18 @@ bench-json:
 		-json BENCH_prune.json -no-progress
 	$(GO) run ./cmd/mrbench -experiment cache -scale 200 -rx 4 -ry 1 \
 		-json BENCH_cache.json -no-progress
+
+# Short fuzz session over the job-submission decoder — the boundary
+# between the network and the engine (docs/SERVICE.md).
+fuzz-submit:
+	$(GO) test ./internal/service -run FuzzDecodeSubmit \
+		-fuzz FuzzDecodeSubmit -fuzztime 30s
+
+# End-to-end exercise of the job server: build mrserve, submit a bench
+# over HTTP, compare the placement checksum against a direct library
+# call, and require a clean SIGTERM drain (docs/SERVICE.md; CI gate).
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 # Quick allocation/latency smoke over the MLL hot path (CI gate).
 bench-smoke:

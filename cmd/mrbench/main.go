@@ -18,12 +18,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mrlegal/internal/experiments"
 	"mrlegal/internal/obs"
@@ -57,6 +60,13 @@ func main() {
 	}
 	defer stop()
 
+	// SIGINT/SIGTERM cancel the experiment context: the in-flight run
+	// unwinds at its next placement boundary (reported as a canceled
+	// result) and the deferred profile/trace flushes still run, so
+	// -cpuprofile and -trace-out output survives an interrupt.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := experiments.Table1Config{
 		Scale:       *scale,
 		SkipILP:     *skipILP,
@@ -64,6 +74,7 @@ func main() {
 		Rx:          *rx,
 		Ry:          *ry,
 		ILPMaxNodes: *nodes,
+		Ctx:         ctx,
 	}
 	if *only != "" {
 		cfg.Only = strings.Split(*only, ",")

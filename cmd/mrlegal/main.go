@@ -11,12 +11,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"mrlegal/internal/bookshelf"
@@ -34,6 +37,11 @@ import (
 // stopProfiles flushes any active profiles; fatal and early exits call it
 // so -cpuprofile/-trace output survives error paths.
 var stopProfiles = func() {}
+
+// flushTrace flushes and closes the -trace-out sink; fatal and early
+// exits call it so an interrupted run leaves a valid (if partial) trace
+// rather than a truncated one.
+var flushTrace = func() {}
 
 func main() {
 	var (
@@ -133,6 +141,15 @@ func main() {
 		}
 		observer = obs.New(opt)
 		cfg.Obs = observer
+		flushTrace = func() {
+			if err := observer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "mrlegal: trace-out: %v\n", err)
+			}
+			if traceFile != nil {
+				traceFile.Close()
+				traceFile = nil
+			}
+		}
 		if *metricsAddr != "" {
 			srv, err := obs.Serve(*metricsAddr, observer.Registry())
 			if err != nil {
@@ -147,7 +164,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the run context: LegalizeCtx unwinds at the
+	// next placement boundary (the design stays transactionally
+	// consistent) and profiles and traces are flushed, not truncated.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -165,18 +186,17 @@ func main() {
 			fmt.Fprint(os.Stderr, rep.Summary(10))
 		}
 	} else if err := l.LegalizeCtx(ctx); err != nil {
+		if errors.Is(err, core.ErrCanceled) && ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "mrlegal: interrupted; partial placement discarded (use -best-effort to keep partial results)")
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 
+	flushTrace()
 	if observer != nil {
-		if err := observer.Flush(); err != nil {
+		if err := observer.TraceErr(); err != nil {
 			fatal(fmt.Errorf("trace-out: %w", err))
-		}
-		if traceFile != nil {
-			if err := traceFile.Close(); err != nil {
-				fatal(fmt.Errorf("trace-out: %w", err))
-			}
 		}
 	}
 
@@ -252,6 +272,7 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "mrlegal: %v\n", err)
+	flushTrace()
 	stopProfiles()
 	os.Exit(1)
 }

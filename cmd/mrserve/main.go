@@ -1,0 +1,118 @@
+// Command mrserve runs the legalization job server: an HTTP/JSON API
+// that accepts design submissions, legalizes them best-effort on a
+// bounded worker pool, and serves job status, reports and legalized
+// placements. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	mrserve -addr :8080
+//	mrserve -addr 127.0.0.1:0 -addr-file /tmp/mrserve.addr -workers 4
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: admission stops
+// (readyz answers 503), in-flight jobs drain within -drain-timeout (then
+// are canceled), and trace output is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mrlegal/internal/core"
+	"mrlegal/internal/jobq"
+	"mrlegal/internal/obs"
+	"mrlegal/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (':0' picks a free port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts)")
+
+		workers    = flag.Int("workers", 0, "job worker pool size (0 = NumCPU)")
+		queueBound = flag.Int("queue-bound", 64, "global queued-job bound; submissions beyond it answer 429")
+		perTenant  = flag.Int("per-tenant", 16, "per-tenant in-flight (queued+running) cap; beyond it answers 429")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline when the client sets none")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline; jobs still running after it are canceled")
+		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
+
+		rx      = flag.Int("rx", 30, "local region half-width Rx (sites)")
+		ry      = flag.Int("ry", 5, "local region half-height Ry (rows)")
+		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
+		seed    = flag.Int64("seed", 1, "retry-offset random seed")
+
+		traceFlag = flag.String("trace-out", "", "write per-cell JSONL placement traces to this file")
+	)
+	flag.Parse()
+
+	base := core.DefaultConfig()
+	base.Rx, base.Ry = *rx, *ry
+	base.PowerAlign = !*noalign
+	base.Seed = *seed
+	base.Workers = 1 // the pool provides cross-job parallelism
+
+	opt := obs.Options{}
+	var traceFile *os.File
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		opt.TraceOut = f
+	}
+	observer := obs.New(opt)
+	base.Obs = observer
+
+	srv, err := service.New(service.Config{
+		Addr: *addr,
+		Queue: jobq.Config{
+			Workers:    *workers,
+			QueueBound: *queueBound,
+			PerTenant:  *perTenant,
+			JobTimeout: *jobTimeout,
+		},
+		BaseCfg:      &base,
+		MaxBodyBytes: *maxBody,
+		DrainTimeout: *drain,
+		Obs:          observer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mrserve: listening on http://%s\n", srv.Addr())
+
+	<-ctx.Done()
+	stop() // a second signal kills immediately instead of re-draining
+	fmt.Fprintf(os.Stderr, "mrserve: shutdown requested, draining (deadline %s)\n", *drain)
+	err = srv.Close()
+	if traceFile != nil {
+		if cerr := traceFile.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("trace-out: %w", cerr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mrserve: %v\n", err)
+	os.Exit(1)
+}

@@ -278,7 +278,12 @@ func generateNetlist(d *design.Design, spec Spec, rng *rand.Rand) *netlist.Netli
 				id = design.CellID(rng.Intn(n))
 			}
 			if seen[id] {
-				if pool != nil && len(pool) <= len(seen) {
+				// The candidate set is exhausted: a global net can run out
+				// of the whole design just like a cluster net runs out of
+				// its pool (tiny benchmarks have fewer cells than the
+				// requested degree) — without this the draw loop spins
+				// forever on already-seen cells.
+				if len(seen) >= n || (pool != nil && len(pool) <= len(seen)) {
 					break
 				}
 				continue

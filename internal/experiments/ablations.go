@@ -38,8 +38,8 @@ func RunEvalAblation(cfg Table1Config) []EvalAblationRow {
 		ex.ExactEval = true
 		row := EvalAblationRow{
 			Name:   spec.Name,
-			Approx: RunOne(p, ap),
-			Exact:  RunOne(p, ex),
+			Approx: RunOneCtx(cfg.ctx(), p, ap),
+			Exact:  RunOneCtx(cfg.ctx(), p, ex),
 		}
 		rows = append(rows, row)
 		if cfg.Progress != nil {
@@ -115,7 +115,7 @@ func RunWindowSweep(cfg Table1Config, name string, rxs, rys []int) []WindowRow {
 				continue
 			}
 			start := time.Now()
-			lerr := l.Legalize()
+			lerr := l.LegalizeCtx(cfg.ctx())
 			res := LegalizeResult{Runtime: time.Since(start)}
 			if lerr != nil {
 				res.Err = lerr.Error()
@@ -164,7 +164,7 @@ func RunBaselines(cfg Table1Config) []BaselineRow {
 		spec.Seed += cfg.Seed
 		p := Prepare(spec, cfg.Seed)
 		row := BaselineRow{Name: spec.Name}
-		row.MLL = RunOne(p, cfg.coreConfig(true, false))
+		row.MLL = RunOneCtx(cfg.ctx(), p, cfg.coreConfig(true, false))
 
 		measure := func(run func(d *design.Design) error) LegalizeResult {
 			d := p.Bench.D.Clone()
@@ -250,7 +250,7 @@ func RunHeightMix(cfg Table1Config) []HeightMixRow {
 		spec.TripleFrac = m.triple
 		spec.QuadFrac = m.quad
 		p := Prepare(spec, cfg.Seed)
-		res := RunOne(p, cfg.coreConfig(true, false))
+		res := RunOneCtx(cfg.ctx(), p, cfg.coreConfig(true, false))
 		rows = append(rows, HeightMixRow{MaxHeight: m.maxH, Result: res})
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "maxH=%d disp=%.3f ΔHPWL=%.2f%% t=%s err=%q\n",
@@ -293,7 +293,7 @@ func RunOrderAblation(cfg Table1Config) []OrderRow {
 		tall := cfg.coreConfig(true, false)
 		input := tall
 		input.TallFirst = false
-		row := OrderRow{Name: spec.Name, TallFirst: RunOne(p, tall), InputOrder: RunOne(p, input)}
+		row := OrderRow{Name: spec.Name, TallFirst: RunOneCtx(cfg.ctx(), p, tall), InputOrder: RunOneCtx(cfg.ctx(), p, input)}
 		rows = append(rows, row)
 		if cfg.Progress != nil {
 			fmt.Fprintf(cfg.Progress, "%-16s tall-first: disp=%.3f err=%q | input-order: disp=%.3f err=%q\n",
@@ -337,7 +337,7 @@ func RunScaling(cfg Table1Config, name string, scales []int) []ScalingRow {
 			}
 			spec.Seed += cfg.Seed
 			p := Prepare(spec, cfg.Seed)
-			res := RunOne(p, cfg.coreConfig(true, false))
+			res := RunOneCtx(cfg.ctx(), p, cfg.coreConfig(true, false))
 			rows = append(rows, ScalingRow{Cells: spec.NumCells, Result: res})
 			if cfg.Progress != nil {
 				fmt.Fprintf(cfg.Progress, "scale=%d cells=%d t=%s disp=%.3f err=%q\n",

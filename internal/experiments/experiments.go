@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -68,6 +69,20 @@ type Table1Config struct {
 	// end) and cell events stream to any configured trace sink. Nil keeps
 	// the runs on the allocation-free fast path.
 	Obs *obs.Observer
+
+	// Ctx, when non-nil, cancels in-flight legalization runs: cmd/mrbench
+	// wires a signal context here so SIGINT/SIGTERM unwinds the current
+	// run cleanly (profiles and traces flush) instead of killing the
+	// process mid-experiment. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the run context (Background when unset).
+func (c *Table1Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 func (c *Table1Config) defaults() {
@@ -100,13 +115,20 @@ func Prepare(spec bengen.Spec, seed int64) *Prepared {
 // RunOne legalizes a fresh clone of the prepared benchmark with the given
 // configuration and measures the Table-1 metrics.
 func RunOne(p *Prepared, cfg core.Config) LegalizeResult {
+	return RunOneCtx(context.Background(), p, cfg)
+}
+
+// RunOneCtx is RunOne under a cancelable context: canceling ctx unwinds
+// the run at the next placement boundary and reports it as a failed
+// result rather than a partial placement.
+func RunOneCtx(ctx context.Context, p *Prepared, cfg core.Config) LegalizeResult {
 	d := p.Bench.D.Clone()
 	l, err := core.NewLegalizer(d, cfg)
 	if err != nil {
 		return LegalizeResult{Err: err.Error()}
 	}
 	start := time.Now()
-	lerr := l.Legalize()
+	lerr := l.LegalizeCtx(ctx)
 	elapsed := time.Since(start)
 
 	res := LegalizeResult{Runtime: elapsed}
@@ -162,7 +184,7 @@ func RunTable1(cfg Table1Config) []Table1Row {
 			GPHPWL:  p.GPHPWL * 1e-9, // DBU (nm) → metres
 		}
 		run := func(align, useILP bool) LegalizeResult {
-			r := RunOne(p, cfg.coreConfig(align, useILP))
+			r := RunOneCtx(cfg.ctx(), p, cfg.coreConfig(align, useILP))
 			if cfg.Progress != nil {
 				mode := "relaxed"
 				if align {

@@ -18,6 +18,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"mrlegal/internal/design"
 )
@@ -77,3 +78,77 @@ func (in *Injector) OnAudit() bool {
 	}
 	return false
 }
+
+// JobInjector injects faults into a job server's worker pool
+// (internal/jobq + internal/service) for chaos testing. Unlike Injector
+// it is safe for concurrent use: jobs run on many workers at once, so
+// every trigger counter is atomic. Thresholds of 0 disable a fault
+// class; the zero value injects nothing.
+//
+// Two fault classes target the worker itself, not the engine:
+//
+//   - PanicStartEvery panics inside the job runner as the job begins —
+//     the "worker killed mid-job" scenario. The queue's panic isolation
+//     must record a failed job and keep the worker alive.
+//   - FailFinishEvery injects an error into a job that ran to
+//     completion — a mid-job infrastructure fault (lost result, storage
+//     error). The job must fail cleanly with the injected error.
+//
+// CellFaultEvery additionally arms a fresh per-job engine Injector
+// (FailInsertEvery) via NewCellInjector, exercising the transactional
+// rollback path inside jobs. Because every job gets its own counter
+// state, a job's outcome is reproducible by a direct library call with
+// an identically configured injector — chaos tests use that to assert
+// byte-identical placements under injected engine faults.
+type JobInjector struct {
+	// PanicStartEvery panics at every Nth job start.
+	PanicStartEvery int
+	// FailFinishEvery fails every Nth job completion with ErrInjected.
+	FailFinishEvery int
+	// CellFaultEvery, when positive, is the FailInsertEvery threshold of
+	// the per-job engine injector returned by NewCellInjector.
+	CellFaultEvery int
+
+	starts   atomic.Int64
+	finishes atomic.Int64
+	panics   atomic.Int64
+	fails    atomic.Int64
+}
+
+// OnJobStart runs as a job begins executing. It may panic (the injected
+// worker kill); the caller's panic isolation is the mechanism under
+// test.
+func (in *JobInjector) OnJobStart(id string) {
+	n := in.starts.Add(1)
+	if in.PanicStartEvery > 0 && n%int64(in.PanicStartEvery) == 0 {
+		in.panics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected worker kill at job start #%d (%s)", n, id))
+	}
+}
+
+// OnJobFinish runs after a job's engine work completed. A non-nil
+// return must fail the job.
+func (in *JobInjector) OnJobFinish(id string) error {
+	n := in.finishes.Add(1)
+	if in.FailFinishEvery > 0 && n%int64(in.FailFinishEvery) == 0 {
+		in.fails.Add(1)
+		return fmt.Errorf("%w: mid-job fault at completion #%d (%s)", ErrInjected, n, id)
+	}
+	return nil
+}
+
+// NewCellInjector returns the per-job engine injector (nil when
+// CellFaultEvery is 0). Each call returns fresh counter state, so the
+// job's engine-level fault schedule is deterministic in isolation.
+func (in *JobInjector) NewCellInjector() *Injector {
+	if in.CellFaultEvery <= 0 {
+		return nil
+	}
+	return &Injector{FailInsertEvery: in.CellFaultEvery}
+}
+
+// Starts, Panics and FinishFails expose the counters for test
+// assertions.
+func (in *JobInjector) Starts() int64      { return in.starts.Load() }
+func (in *JobInjector) Panics() int64      { return in.panics.Load() }
+func (in *JobInjector) FinishFails() int64 { return in.fails.Load() }

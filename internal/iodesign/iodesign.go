@@ -18,6 +18,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -149,6 +150,12 @@ func Read(r io.Reader) (*design.Design, *netlist.Netlist, error) {
 			default:
 				return nil, nil, fail("bad rail %q", f[4])
 			}
+			// Checked here rather than left to design.AddMaster: AddMaster
+			// panics on non-positive sizes, and a malformed input file must
+			// produce an error, not a panic.
+			if v[0] < 1 || v[1] < 1 {
+				return nil, nil, fail("master %q has non-positive size %dx%d", f[1], v[0], v[1])
+			}
 			d.AddMaster(design.Master{Name: f[1], Width: v[0], Height: v[1], BottomRail: rail})
 		case "cell":
 			if err := needDesign(); err != nil {
@@ -163,7 +170,8 @@ func Read(r io.Reader) (*design.Design, *netlist.Netlist, error) {
 			}
 			gx, err1 := strconv.ParseFloat(f[3], 64)
 			gy, err2 := strconv.ParseFloat(f[4], 64)
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil ||
+				math.IsNaN(gx) || math.IsInf(gx, 0) || math.IsNaN(gy) || math.IsInf(gy, 0) {
 				return nil, nil, fail("bad input position")
 			}
 			id := d.AddCell(f[1], mi, gx, gy)
@@ -222,8 +230,43 @@ func Read(r io.Reader) (*design.Design, *netlist.Netlist, error) {
 	if d == nil {
 		return nil, nil, fmt.Errorf("iodesign: no design header found")
 	}
+	if err := validate(d); err != nil {
+		return nil, nil, err
+	}
 	nl.BuildIndex(len(d.Cells))
 	return d, nl, nil
+}
+
+// validate applies the structural invariants downstream consumers assume
+// (the segment grid indexes rows by their Y field) once the whole file is
+// in, since the format allows directives in any order. Shapes the engine
+// would panic on — duplicate or out-of-range row indices, placements on
+// nonexistent rows, masters taller than the design — become errors here.
+func validate(d *design.Design) error {
+	seen := make([]bool, len(d.Rows))
+	for i := range d.Rows {
+		y := d.Rows[i].Y
+		if y < 0 || y >= len(d.Rows) || seen[y] {
+			return fmt.Errorf("iodesign: row %d has invalid or duplicate index y=%d", i, y)
+		}
+		seen[y] = true
+		if sp := d.Rows[i].Span; sp.Lo >= sp.Hi {
+			return fmt.Errorf("iodesign: row y=%d has empty span [%d, %d)", y, sp.Lo, sp.Hi)
+		}
+	}
+	for i := range d.Lib {
+		if d.Lib[i].Height > len(d.Rows) {
+			return fmt.Errorf("iodesign: master %q is %d rows tall but the design has %d rows",
+				d.Lib[i].Name, d.Lib[i].Height, len(d.Rows))
+		}
+	}
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Placed && (c.Y < 0 || c.Y >= len(d.Rows)) {
+			return fmt.Errorf("iodesign: cell %q placed on row %d of %d", c.Name, c.Y, len(d.Rows))
+		}
+	}
+	return nil
 }
 
 func ints(fields []string, n int) ([]int, error) {

@@ -101,6 +101,21 @@ func TestReadErrors(t *testing.T) {
 		"design d 200 2000\nnet n 5 0.0 0.0",  // pin cell out of range
 		"",                                    // no header
 		"design d 200 2000\nmaster m 2 1 VSS\ncell c 0 1 2 @ 1", // short placement
+
+		// Shapes downstream consumers would panic on must be errors here:
+		// design.AddMaster panics on non-positive sizes, and the segment
+		// grid indexes rows by their Y field.
+		"design d 200 2000\nrow 0 0 10\nmaster m 0 1 VSS",                     // zero-width master
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 0 VSS",                     // zero-height master
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 -1 VSS",                    // negative height
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 5 VSS",                     // taller than the design
+		"design d 200 2000\nrow 1 0 10",                                       // row index out of range
+		"design d 200 2000\nrow 0 0 10\nrow 0 0 10",                           // duplicate row index
+		"design d 200 2000\nrow -1 0 10",                                      // negative row index
+		"design d 200 2000\nrow 0 10 10",                                      // empty row span
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 1 VSS\ncell c 0 1 2 @ 3 7", // placed off the rows
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 1 VSS\ncell c 0 NaN 2",     // non-finite input position
+		"design d 200 2000\nrow 0 0 10\nmaster m 2 1 VSS\ncell c 0 1 +Inf",    // non-finite input position
 	}
 	for i, c := range cases {
 		if _, _, err := Read(strings.NewReader(c)); err == nil {

@@ -1,0 +1,179 @@
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mrlegal/internal/obs"
+)
+
+// TestHammer is the jobq race hammer: ≥100 concurrent clients slam a
+// small queue with submits, polls and cancels while jobs randomly
+// succeed, fail, panic and dawdle. It proves, under -race:
+//
+//   - the queue never deadlocks (everything settles within a watchdog);
+//   - admission control rejects overload instead of buffering it;
+//   - the per-tenant cap is never exceeded while a submit is admitted;
+//   - panics never escape a worker;
+//   - shutdown drains and the final accounting balances exactly:
+//     admitted == succeeded + failed + canceled, gauges back to zero.
+func TestHammer(t *testing.T) {
+	const (
+		clients    = 120
+		perClient  = 25
+		tenants    = 7
+		perTenant  = 6
+		queueBound = 24
+		workers    = 8
+	)
+
+	reg := obs.NewRegistry()
+	var ran, panicked, failed atomic.Int64
+	runner := func(ctx context.Context, id string, payload any) (any, error) {
+		n := payload.(int)
+		ran.Add(1)
+		// Deterministic per-payload behavior: a spread of instant
+		// returns, short sleeps (so cancels land mid-run), errors and
+		// panics.
+		switch {
+		case n%97 == 0:
+			panicked.Add(1)
+			panic(fmt.Sprintf("injected worker kill (payload %d)", n))
+		case n%13 == 0:
+			failed.Add(1)
+			return nil, fmt.Errorf("injected failure %d", n)
+		case n%5 == 0:
+			select {
+			case <-time.After(time.Duration(n%7) * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return n, nil
+	}
+	q := New(Config{
+		Workers:    workers,
+		QueueBound: queueBound,
+		PerTenant:  perTenant,
+		DoneCap:    clients * perClient, // retain everything for the audit
+		Obs:        reg,
+	}, runner)
+
+	var (
+		mu       sync.Mutex
+		accepted []string
+	)
+	var rejFull, rejTenant atomic.Int64
+	var capViolation atomic.Int64
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c%tenants)
+			for i := 0; i < perClient; i++ {
+				snap, err := q.Submit(tenant, c*perClient+i, 0)
+				switch {
+				case err == nil:
+					// The cap invariant must hold at the instant of a
+					// successful admission.
+					if q.InFlight(tenant) > perTenant {
+						capViolation.Add(1)
+					}
+					mu.Lock()
+					accepted = append(accepted, snap.ID)
+					mu.Unlock()
+					if i%9 == 0 {
+						q.Cancel(snap.ID) // races with execution on purpose
+					}
+					if i%4 == 0 {
+						q.Get(snap.ID)
+					}
+				case errors.Is(err, ErrQueueFull):
+					rejFull.Add(1)
+				case errors.Is(err, ErrTenantLimit):
+					rejTenant.Add(1)
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Watchdog: the whole hammer must settle well within the test
+	// timeout, or we call it a deadlock.
+	submitDone := make(chan struct{})
+	go func() { wg.Wait(); close(submitDone) }()
+	select {
+	case <-submitDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("deadlock: submitters did not finish")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain: %v", err)
+	}
+
+	if capViolation.Load() > 0 {
+		t.Errorf("per-tenant cap exceeded %d times", capViolation.Load())
+	}
+
+	// Every accepted job must be terminal and accounted exactly once.
+	counts := map[State]int64{}
+	for _, id := range accepted {
+		s, err := q.Get(id)
+		if err != nil {
+			t.Fatalf("accepted job %s lost: %v", id, err)
+		}
+		if !s.State.Terminal() {
+			t.Fatalf("job %s not terminal after shutdown: %v", id, s.State)
+		}
+		counts[s.State]++
+	}
+	total := counts[Succeeded] + counts[Failed] + counts[Canceled]
+	if total != int64(len(accepted)) {
+		t.Errorf("terminal accounting: %d of %d accepted", total, len(accepted))
+	}
+	t.Logf("accepted %d (rejected full=%d tenant=%d); succeeded=%d failed=%d canceled=%d; ran=%d panics=%d",
+		len(accepted), rejFull.Load(), rejTenant.Load(),
+		counts[Succeeded], counts[Failed], counts[Canceled], ran.Load(), panicked.Load())
+
+	// Metrics must agree with the ground truth.
+	cv := func(name string) int64 { return reg.Counter(name, "").Value() }
+	if got := cv("jobq_jobs_submitted_total"); got != int64(len(accepted)) {
+		t.Errorf("submitted_total = %d, want %d", got, len(accepted))
+	}
+	if got := cv(`jobq_rejected_total{reason="queue_full"}`); got != rejFull.Load() {
+		t.Errorf("rejected{queue_full} = %d, want %d", got, rejFull.Load())
+	}
+	if got := cv(`jobq_rejected_total{reason="tenant_limit"}`); got != rejTenant.Load() {
+		t.Errorf("rejected{tenant_limit} = %d, want %d", got, rejTenant.Load())
+	}
+	doneSum := cv(`jobq_jobs_done_total{state="succeeded"}`) +
+		cv(`jobq_jobs_done_total{state="failed"}`) +
+		cv(`jobq_jobs_done_total{state="canceled"}`)
+	if doneSum != int64(len(accepted)) {
+		t.Errorf("done_total sum = %d, want %d", doneSum, len(accepted))
+	}
+	if got := cv("jobq_job_panics_total"); got != panicked.Load() {
+		t.Errorf("panics_total = %d, want %d", got, panicked.Load())
+	}
+	if d := reg.Gauge("jobq_queue_depth", "").Value(); d != 0 {
+		t.Errorf("queue_depth gauge = %d after shutdown", d)
+	}
+	if r := reg.Gauge("jobq_jobs_running", "").Value(); r != 0 {
+		t.Errorf("jobs_running gauge = %d after shutdown", r)
+	}
+	if rejFull.Load()+rejTenant.Load() == 0 {
+		t.Error("hammer never tripped admission control; bounds too loose to prove anything")
+	}
+}

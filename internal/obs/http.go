@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
+	"time"
 )
 
 // MetricsHandler returns an http.Handler serving the registry in the
@@ -23,6 +25,10 @@ type Server struct {
 // Serve starts an HTTP listener on addr (":0" picks a free port) exposing
 // the registry at /metrics (and at / for convenience). It returns
 // immediately; the accept loop runs on its own goroutine until Close.
+//
+// The listener carries slowloris defenses: a client that trickles its
+// request headers, body, or reads of the response is cut off by the
+// per-stage timeouts rather than pinning a connection forever.
 func Serve(addr string, r *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -32,7 +38,14 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	h := MetricsHandler(r)
 	mux.Handle("/metrics", h)
 	mux.Handle("/", h)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -40,5 +53,20 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the listener's resolved address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// CloseTimeout bounds Close: in-flight scrapes get this long to finish
+// before the server gives up and hard-closes their connections.
+const CloseTimeout = 5 * time.Second
+
+// Close stops the listener gracefully: no new connections are accepted
+// and in-flight exposition writes get up to CloseTimeout to complete —
+// an abrupt close mid-scrape would hand Prometheus a torn payload.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Grace period expired (or ctx failed); fall back to the hard
+		// close so Close never leaks the listener.
+		return s.srv.Close()
+	}
+	return nil
+}

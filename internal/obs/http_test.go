@@ -56,3 +56,62 @@ func TestServeBadAddr(t *testing.T) {
 		t.Error("want error for unlistenable address")
 	}
 }
+
+// TestServeTimeoutsConfigured asserts the listener carries the slowloris
+// defenses: a connection that never sends request headers is cut off by
+// ReadHeaderTimeout instead of pinning the server forever, so every
+// per-stage timeout must be set.
+func TestServeTimeoutsConfigured(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set")
+	}
+	if srv.srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout not set")
+	}
+	if srv.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout not set")
+	}
+}
+
+// TestServeCloseGraceful checks Close lets an in-flight scrape finish
+// rather than tearing its connection down (the old srv.Close behavior
+// handed Prometheus torn payloads).
+func TestServeCloseGraceful(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "probe").Add(7)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the request, then close the server while the response is
+	// (potentially) still streaming: the body must still arrive whole.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatalf("in-flight scrape torn by Close: %v", rerr)
+	}
+	if !strings.Contains(string(body), "up_total 7") {
+		t.Errorf("scrape incomplete:\n%s", body)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

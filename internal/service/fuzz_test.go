@@ -1,0 +1,64 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"mrlegal/internal/core"
+)
+
+// FuzzDecodeSubmit asserts the job-submission decoder's robustness
+// contract (mirroring bookshelf.FuzzRead): arbitrary — corrupt,
+// truncated, hostile — payload bytes must produce an error or a valid
+// payload, never a panic or a hang. The decoder is the only thing
+// between the network and the engine, so this is the service's first
+// line of defense.
+func FuzzDecodeSubmit(f *testing.F) {
+	valid := benchText(f, 40, 3)
+
+	// A well-formed submission of each design source, plus config and
+	// deadline fields.
+	f.Add(submitJSON(f, SubmitRequest{DesignText: valid, DeadlineMS: 1000}))
+	f.Add(submitJSON(f, SubmitRequest{
+		DesignText: valid,
+		Config:     &ConfigJSON{Rx: intp(20), Ry: intp(3), Workers: intp(2), Seed: int64p(7)},
+	}))
+	f.Add(`{"design":{"name":"j","site_w":200,"site_h":2000,` +
+		`"rows":[{"y":0,"lo":0,"hi":50},{"y":1,"lo":0,"hi":50}],` +
+		`"masters":[{"name":"INV","width":2,"height":1,"rail":"VSS"}],` +
+		`"cells":[{"name":"u0","master":0,"gx":3.5,"gy":0.2}],` +
+		`"nets":[{"name":"n0","pins":[{"cell":0,"dx":1,"dy":0.5},{"cell":-1,"dx":4,"dy":2}]}]}}`)
+	f.Add(`{"bookshelf":{"aux":"b.aux","files":{"b.aux":"RowBasedPlacement : b.nodes b.nets b.pl b.scl"}}}`)
+
+	// Classic corruption shapes: truncation, type confusion, hostile
+	// numbers, panic-shaped designs, unknown fields, trailing documents.
+	f.Add(submitJSON(f, SubmitRequest{DesignText: valid})[:40])
+	f.Add(`{"design_text": 5}`)
+	f.Add(`{"design_text":"design d 200 2000\nrow 0 0 10\nmaster m 0 1 VSS"}`)
+	f.Add(`{"design_text":"design d 200 2000\nrow 99 0 10"}`)
+	f.Add(`{"design":{"site_w":-1,"site_h":99999999999999999999}}`)
+	f.Add(`{"design":{"name":"x","site_w":200,"site_h":2000,"rows":[{"y":0,"lo":0,"hi":10}],` +
+		`"masters":[{"name":"m","width":1,"height":1,"rail":"VSS"}],` +
+		`"cells":[{"name":"c","master":0,"gx":1e308,"gy":-1e308}]}}`)
+	f.Add(`{"deadline_ms":-9223372036854775808,"design_text":"design d 200 2000\nrow 0 0 10"}`)
+	f.Add(`{"frobnicate":{}}`)
+	f.Add(`{} {}`)
+	f.Add(`null`)
+	f.Add(``)
+
+	// Small limits keep hostile payloads cheap: the fuzzer explores
+	// structure, not scale.
+	lim := Limits{MaxCells: 2000, MaxRows: 256, MaxNets: 2000}
+	base := core.DefaultConfig()
+	base.Workers = 1
+
+	f.Fuzz(func(t *testing.T, body string) {
+		p, err := DecodeSubmit(strings.NewReader(body), base, lim)
+		if err == nil && (p == nil || p.d == nil || p.cfg.Rx < 1) {
+			t.Fatalf("nil/invalid payload with nil error: %+v", p)
+		}
+		if err != nil && p != nil {
+			t.Fatal("non-nil payload alongside an error")
+		}
+	})
+}

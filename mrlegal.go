@@ -44,9 +44,11 @@ import (
 	"mrlegal/internal/detailed"
 	"mrlegal/internal/geom"
 	"mrlegal/internal/gp"
+	"mrlegal/internal/jobq"
 	"mrlegal/internal/netlist"
 	"mrlegal/internal/obs"
 	"mrlegal/internal/render"
+	"mrlegal/internal/service"
 	"mrlegal/internal/verify"
 )
 
@@ -173,6 +175,35 @@ func NewObserver(opt ObserverOptions) *Observer { return obs.New(opt) }
 // ReadTrace decodes a JSONL placement trace (the -trace-out format) back
 // into events.
 func ReadTrace(r io.Reader) ([]CellEvent, error) { return obs.ReadTrace(r) }
+
+// Job-server types (see docs/SERVICE.md). The server wraps
+// LegalizeBestEffort in an HTTP/JSON API with bounded admission,
+// per-job deadlines, panic isolation and graceful shutdown — the
+// cmd/mrserve binary is a thin flag wrapper around NewServer.
+type (
+	// Server is the legalization job server.
+	Server = service.Server
+	// ServerConfig tunes NewServer; its Queue field bounds admission.
+	ServerConfig = service.Config
+	// ServerLimits bounds what one submission may ask for.
+	ServerLimits = service.Limits
+	// JobQueueConfig tunes the bounded job queue and worker pool.
+	JobQueueConfig = jobq.Config
+	// JobState is a job lifecycle state (queued, running, succeeded,
+	// failed, canceled).
+	JobState = jobq.State
+	// JobSnapshot is a point-in-time view of one job.
+	JobSnapshot = jobq.Snapshot
+)
+
+// NewServer builds a legalization job server (not yet listening; call
+// Start or Run).
+func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
+
+// ErrorCode maps any error surfaced by the engine, the job queue or the
+// server to its stable machine-readable API code (docs/SERVICE.md lists
+// the taxonomy). Unknown errors map to "internal"; nil maps to "".
+func ErrorCode(err error) string { return service.ErrorCode(err) }
 
 // Verification types.
 type (
