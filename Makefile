@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit bench-json bench-smoke serve-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit bench-json bench-smoke bench-shard-smoke serve-smoke clean
 
 check: vet build race cover
 
@@ -44,9 +44,11 @@ fuzz-cache:
 
 # Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
 # Table-1 flow once per worker count), BENCH_prune.json (best-first search
-# vs exhaustive sweep) and BENCH_cache.json (extraction cache off vs on);
-# see docs/PERFORMANCE.md. Results depend on the machine;
-# num_cpu/go_max_procs are recorded in the parallel artifact.
+# vs exhaustive sweep), BENCH_cache.json (extraction cache off vs on) and
+# BENCH_shard.json (spatial sharding size x K sweep); see
+# docs/PERFORMANCE.md. Results depend on the machine; num_cpu,
+# go_max_procs and speedup_valid are recorded in the parallel and shard
+# artifacts — on a single-CPU box every speedup field is suppressed.
 bench-json:
 	$(GO) run ./cmd/mrbench -experiment parallel -scale 400 -workers 1,2,4 \
 		-json BENCH_parallel.json -no-progress
@@ -54,6 +56,16 @@ bench-json:
 		-json BENCH_prune.json -no-progress
 	$(GO) run ./cmd/mrbench -experiment cache -scale 200 -rx 4 -ry 1 \
 		-json BENCH_cache.json -no-progress
+	$(GO) run ./cmd/mrbench -experiment shard -sizes 5000,20000 -shards 1,2,4,8 \
+		-json BENCH_shard.json -no-progress
+
+# Shard-parity smoke (CI gate): a small design legalized with 4 spatial
+# shards under the race detector must be byte-identical to the serial
+# run across both search modes and cache states, with zero claim-board
+# traffic (docs/PERFORMANCE.md §7).
+bench-shard-smoke:
+	$(GO) test -race -short ./internal/core \
+		-run 'TestShardMatchesSerialAcrossK|TestShardZeroClaimTraffic'
 
 # Short fuzz session over the job-submission decoder — the boundary
 # between the network and the engine (docs/SERVICE.md).

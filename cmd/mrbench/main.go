@@ -13,6 +13,8 @@
 //	        -json BENCH_prune.json                   # best-first search vs exhaustive
 //	mrbench -experiment cache -scale 400 \
 //	        -json BENCH_cache.json                   # extraction cache off vs on
+//	mrbench -experiment shard -sizes 20000,1000000 \
+//	        -json BENCH_shard.json                   # spatial sharding sweep (§7)
 //	mrbench -experiment table1 -skip-ilp -metrics \
 //	        -trace-out trace.jsonl                   # + Prometheus dump & JSONL trace
 package main
@@ -35,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache | shard")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
@@ -46,6 +48,8 @@ func main() {
 		nodes   = flag.Int("ilp-nodes", 0, "branch & bound node cap per local MILP (0 = default)")
 		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
 		workers = flag.String("workers", "", "comma-separated worker counts for -experiment parallel (default \"1,NumCPU\")")
+		shards  = flag.String("shards", "", "comma-separated shard counts for -experiment shard (default \"1,2,4,8\")")
+		sizes   = flag.String("sizes", "", "comma-separated synthetic design sizes for -experiment shard (default \"5000,20000\")")
 		jsonOut = flag.String("json", "", "write the parallel experiment's report as JSON to this file instead of a table")
 
 		metrics   = flag.Bool("metrics", false, "emit the accumulated Prometheus text exposition once to stdout after the experiment (see docs/OBSERVABILITY.md)")
@@ -175,6 +179,45 @@ func main() {
 			}
 		} else {
 			experiments.PrintParallel(os.Stdout, rep)
+		}
+	case "shard":
+		shardCounts, err := parseWorkers(*shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -shards: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		sizeList, err := parseWorkers(*sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -sizes: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		scfg := experiments.ShardConfig{
+			Sizes:       sizeList,
+			ShardCounts: shardCounts,
+			Seed:        *seed,
+			Ctx:         ctx,
+		}
+		if !*quietP {
+			scfg.Progress = os.Stderr
+		}
+		rep := experiments.RunShard(scfg)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WriteShardJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintShard(os.Stdout, rep)
 		}
 	case "prune":
 		rep := experiments.RunPrune(cfg)

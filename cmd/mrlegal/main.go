@@ -63,6 +63,7 @@ func main() {
 		bestEffort  = flag.Bool("best-effort", false, "place as many cells as possible and report failures instead of aborting")
 		auditEvery  = flag.Int("audit-every", 0, "run a full invariant audit every N placements, rolling back the batch on violation (0 = off)")
 		workers     = flag.Int("workers", 0, "planning goroutines per round (0 = NumCPU, 1 = serial; results are identical either way)")
+		shards      = flag.Int("shards", 0, "spatial die shards per round (0 = off; overrides -workers, results are identical at any count)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics at http://ADDR/metrics during the run (':0' picks a free port; see docs/OBSERVABILITY.md)")
 		traceFlag   = flag.String("trace-out", "", "write the per-cell JSONL placement trace to this file ('-' = stdout)")
@@ -116,6 +117,7 @@ func main() {
 	cfg.CellTimeout = *cellTimeout
 	cfg.AuditEvery = *auditEvery
 	cfg.Workers = *workers
+	cfg.Shards = *shards
 	cfg.PhaseTiming = !*quiet
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}

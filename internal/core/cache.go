@@ -48,6 +48,17 @@ import (
 // (or outside Legalize runs), never mid-round, so eviction timing can
 // never make a lookup's verdict depend on worker scheduling.
 //
+// Shard affinity: during sharded rounds (shard.go) every attempt routes
+// through the cache its scratch carries (scratch.cc) — a shard-local
+// table owned by exactly one worker goroutine, so interior cells need no
+// cross-shard map coordination at all; seam-pass and serial attempts
+// (scratch.cc == nil) use the legalizer's shared table. Which table a
+// cell consults is a pure function of the round's deterministic shard
+// routing, so cache counters stay reproducible per configuration, and
+// placements never depend on cache content in the first place (every
+// verdict is content-validated), so they stay byte-identical across
+// serial, claim-board and sharded drivers.
+//
 // See docs/PERFORMANCE.md §6 for the design notes and the admissibility
 // argument for carry-forward seeds.
 
@@ -168,40 +179,71 @@ func clipWin(g *segment.Grid, win geom.Rect) geom.Rect {
 	return geom.Rect{X: xLo, Y: yLo, W: xHi - xLo, H: yHi - yLo}
 }
 
-func (l *Legalizer) cacheGet(key geom.Rect) *extractMemo {
-	if l.cache == nil {
-		return nil
-	}
-	return l.cache.entries[key]
+func newExtractCache() *extractCache {
+	return &extractCache{entries: make(map[geom.Rect]*extractMemo)}
 }
 
-// cachePut publishes an entry. Callers on the commit side only (see the
-// file comment). Outside Legalize runs the capacity trim happens here;
-// during runs it is deferred to the next round boundary.
-func (l *Legalizer) cachePut(key geom.Rect, m *extractMemo) {
-	cc := l.cache
-	if cc == nil {
-		cc = &extractCache{entries: make(map[geom.Rect]*extractMemo)}
-		l.cache = cc
+// ccFor resolves the cache an attempt reads: the scratch's shard-local
+// table during sharded rounds, the legalizer's shared table otherwise.
+// May return nil (shared table not yet created) — get tolerates it.
+func (l *Legalizer) ccFor(sc *scratch) *extractCache {
+	if sc.cc != nil {
+		return sc.cc
 	}
+	return l.cache
+}
+
+// ccEnsure is ccFor for the store side, creating the shared table on
+// first use (shard-local tables are pre-created by ensureShardSlots).
+func (l *Legalizer) ccEnsure(sc *scratch) *extractCache {
+	if sc.cc != nil {
+		return sc.cc
+	}
+	if l.cache == nil {
+		l.cache = newExtractCache()
+	}
+	return l.cache
+}
+
+func (cc *extractCache) get(key geom.Rect) *extractMemo {
+	if cc == nil {
+		return nil
+	}
+	return cc.entries[key]
+}
+
+// cachePut publishes an entry into the attempt's cache. Callers on the
+// commit side only (see the file comment). Outside Legalize runs the
+// capacity trim happens here; during runs it is deferred to the next
+// round boundary.
+func (l *Legalizer) cachePut(sc *scratch, key geom.Rect, m *extractMemo) {
+	cc := l.ccEnsure(sc)
 	if _, ok := cc.entries[key]; !ok {
 		cc.order = append(cc.order, key)
 	}
 	cc.entries[key] = m
 	if l.runCtx == nil {
-		l.cacheTrim()
+		cc.trim(l.cacheCap())
 	}
 }
 
-// cacheTrim evicts oldest-first down to capacity. Only called at round
-// boundaries (placeRound start) and from out-of-run cachePuts, so no
-// planner can observe a mid-round eviction.
+// cacheTrim trims every cache table — the shared one and any shard-local
+// ones — down to capacity. Only called at round boundaries (placeRound
+// start) and from out-of-run cachePuts, so no planner can observe a
+// mid-round eviction.
 func (l *Legalizer) cacheTrim() {
-	cc := l.cache
+	capN := l.cacheCap()
+	l.cache.trim(capN)
+	for _, cc := range l.shardCaches {
+		cc.trim(capN)
+	}
+}
+
+// trim evicts oldest-first down to capacity.
+func (cc *extractCache) trim(capN int) {
 	if cc == nil {
 		return
 	}
-	capN := l.cacheCap()
 	for len(cc.entries) > capN && len(cc.order) > 0 {
 		delete(cc.entries, cc.order[0])
 		cc.order = cc.order[1:]
@@ -221,12 +263,8 @@ func (l *Legalizer) cacheTrim() {
 // be built, registering the key on first sight. Runs on the commit side in
 // deterministic order — like eviction, admission can never make a lookup
 // verdict depend on worker scheduling.
-func (l *Legalizer) cacheAdmit(key geom.Rect) bool {
-	cc := l.cache
-	if cc == nil {
-		cc = &extractCache{entries: make(map[geom.Rect]*extractMemo)}
-		l.cache = cc
-	}
+func (l *Legalizer) cacheAdmit(sc *scratch, key geom.Rect) bool {
+	cc := l.ccEnsure(sc)
 	if cc.seen == nil {
 		cc.seen = make(map[geom.Rect]struct{})
 	}
@@ -360,7 +398,7 @@ func (l *Legalizer) cachedExtract(sc *scratch, c *design.Cell, win geom.Rect, tx
 	}
 	sc.memoKey = key
 	sc.memoKeyOK = true
-	if m := l.cacheGet(key); m != nil {
+	if m := l.ccFor(sc).get(key); m != nil {
 		if l.verifyMemo(m) {
 			sc.stats.ExtractCacheHits++
 			sc.memo = m
@@ -532,7 +570,7 @@ func (l *Legalizer) cacheFlush(sc *scratch) {
 		// the capture/snapshot cost until a key proves it recurs. Seed
 		// entries bypass the doorkeeper — realization failures are rare and
 		// their bounds-only entries skip the snapshot clone anyway.
-		if kind == storeNoIP && !l.cacheAdmit(sc.memoKey) {
+		if kind == storeNoIP && !l.cacheAdmit(sc, sc.memoKey) {
 			return
 		}
 		sc.depSegs = l.captureDeps(sc.memoKey, sc.depSegs)
@@ -566,5 +604,5 @@ func (l *Legalizer) cacheFlush(sc *scratch) {
 		o.hasSeed = true
 		o.seedTx, o.seedTy, o.seedCost = p.tx, p.ty, p.cost
 	}
-	l.cachePut(m.win, m)
+	l.cachePut(sc, m.win, m)
 }

@@ -217,6 +217,22 @@ func (l *Legalizer) roundWorkers(n int) int {
 	return w
 }
 
+// roundShards resolves the shard count of the spatially-sharded round
+// driver for a round over n cells: up to Cfg.Shards spans, capped by the
+// cell count. 0 means sharding is off and placeRound falls through to
+// the claim-board parallel driver or the serial loop per Cfg.Workers.
+// External solvers are always serial.
+func (l *Legalizer) roundShards(n int) int {
+	k := l.Cfg.Shards
+	if k <= 0 || l.Cfg.Solver != nil || n == 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
 // roundTargets fills st.targets with the desired position of every cell
 // for round k, consuming the seeded rng in strict cell order. Round 1
 // uses the input positions and draws nothing, matching Algorithm 1.
@@ -264,6 +280,9 @@ func (l *Legalizer) placeRound(cells []design.CellID, k int, st *runState) []des
 		ry *= scale
 	}
 	targets := l.roundTargets(cells, k, rx, ry, st)
+	if ks := l.roundShards(len(cells)); ks > 0 {
+		return l.placeRoundShard(cells, targets, k, rx, ry, ks, st)
+	}
 	w := l.roundWorkers(len(cells))
 	if l.om != nil {
 		l.om.roundWorkers.Set(int64(w))

@@ -99,6 +99,21 @@ type Config struct {
 	// state).
 	Workers int
 
+	// Shards selects the spatially-sharded round driver: the die's
+	// x-extent is partitioned into up to Shards contiguous column spans
+	// (boundaries at quantiles of the round's claim centers), one worker
+	// goroutine exclusively owning each span. Interior cells — those
+	// whose claims lie inside one span and are disjoint from every
+	// earlier seam claim — legalize with zero claim-board traffic; the
+	// remaining seam cells replay in a sequential pass in strict round
+	// order, so placements stay byte-identical to the serial driver at
+	// every shard count (docs/PERFORMANCE.md §7). 0 disables sharding and
+	// falls back to the claim-board driver selected by Workers. Ignored
+	// with an external Solver. When AuditEvery > 0 the audit cadence is
+	// per shard during the interior pass, so audit bookkeeping (not
+	// placement legality) can differ from the serial schedule.
+	Shards int
+
 	// PhaseTiming enables the per-phase wall-clock breakdown
 	// (extract/enumerate/evaluate/realize) reported via Phases and
 	// Report.Phases. Off by default: the accounting adds time syscalls to
@@ -273,6 +288,19 @@ type Legalizer struct {
 	// across parallel rounds, for observability only (the numbers depend
 	// on worker timing, unlike Stats).
 	schedCounters sched.Counters
+
+	// shardScrs and shardCaches are the per-shard scratch slabs and
+	// extraction caches of the sharded round driver (shard.go), reused
+	// across rounds. Each slot is touched only by its owning shard
+	// worker while a round is in flight.
+	shardScrs   []*scratch
+	shardCaches []*extractCache
+
+	// shardCounters accumulates the shard router's activity. Unlike the
+	// claim board's counters these are deterministic for a fixed input
+	// and configuration: classification depends only on claim geometry
+	// and round order, never on worker timing.
+	shardCounters sched.ShardCounters
 }
 
 // LastMoved returns the cells pushed aside by the most recent successful

@@ -68,7 +68,14 @@ type obsMetrics struct {
 	schedDispatched  *obs.Counter
 	schedDeferred    *obs.Counter
 	schedInvalidated *obs.Counter
+	schedBatches     *obs.Counter
+	schedBatched     *obs.Counter
 	workerPlans      *obs.ShardedCounter
+
+	// Spatial shard router activity (shard.go).
+	shardInterior  *obs.Counter
+	shardSeam      *obs.Counter
+	shardSyncEdges *obs.Counter
 
 	// Distributions.
 	attemptSeconds *obs.Histogram
@@ -117,7 +124,13 @@ func newObsMetrics(o *obs.Observer) *obsMetrics {
 		schedDispatched:  r.Counter("mrlegal_sched_dispatched_total", "Claims handed to planning workers (includes re-dispatches)."),
 		schedDeferred:    r.Counter("mrlegal_sched_deferred_total", "Eligibility checks that found a conflicting earlier claim."),
 		schedInvalidated: r.Counter("mrlegal_sched_invalidated_total", "Dispatched claims discarded by a generation bump."),
+		schedBatches:     r.Counter("mrlegal_sched_batches_total", "Batched claim-board scans (NextBatch round-trips)."),
+		schedBatched:     r.Counter("mrlegal_sched_batched_total", "Claims dispatched through batched board scans."),
 		workerPlans:      r.ShardedCounter("mrlegal_worker_plans_total", "Plans computed, sharded per planning worker and merged on read.", obsWorkerShards),
+
+		shardInterior:  r.Counter("mrlegal_shard_interior_cells_total", "Cells owned exclusively by one spatial shard (zero claim traffic)."),
+		shardSeam:      r.Counter("mrlegal_shard_seam_cells_total", "Boundary-crossing cells routed to the sequential seam thread."),
+		shardSyncEdges: r.Counter("mrlegal_shard_sync_edges_total", "Cross-thread ordering edges over seam-interior claim conflicts."),
 
 		attemptSeconds: r.Histogram("mrlegal_attempt_seconds", "Wall time of one cell placement attempt (plan + commit).", nil),
 		runSeconds:     r.Histogram("mrlegal_run_seconds", "Wall time of one full legalization run.", nil),
@@ -189,6 +202,43 @@ func outcomeFor(err error) obs.CellOutcome {
 func (l *Legalizer) observeAttempt(id design.CellID, round, rx, ry, worker int, s0 Stats, dur time.Duration, err error) {
 	m := l.om
 	d := &l.stats
+	ev := obs.CellEvent{
+		Cell:      int(id),
+		Round:     round,
+		WinW:      rx,
+		WinH:      ry,
+		Evaluated: d.InsertionPoints - s0.InsertionPoints,
+		Pruned: (d.CandidatesPruned - s0.CandidatesPruned) +
+			(d.SearchNodesCut - s0.SearchNodesCut) +
+			(d.WindowsPruned - s0.WindowsPruned),
+		Worker: worker,
+		Dur:    dur,
+	}
+	m.attempts.Inc()
+	if err == nil {
+		if d.DirectPlacements > s0.DirectPlacements {
+			ev.Outcome = obs.OutcomeDirect
+		} else {
+			ev.Outcome = obs.OutcomeMLL
+		}
+		ev.Disp = l.D.Cell(id).DispSites(l.D.SiteW, l.D.SiteH)
+		m.placements.Inc()
+	} else {
+		ev.Outcome = outcomeFor(err)
+		m.attemptFailures.Inc()
+	}
+	m.attemptSeconds.Observe(dur.Seconds())
+	m.o.RecordCell(ev)
+}
+
+// observeShardAttempt is observeAttempt for shard workers, which must
+// not read l.stats (their shard is merged into it only after the round
+// joins): the attempt's work deltas come from the worker's own scratch
+// shard instead. Runs on the worker goroutine after its commit critical
+// section; every handle it touches is atomic or internally locked.
+func (l *Legalizer) observeShardAttempt(id design.CellID, round, rx, ry, worker int, s0 Stats, sc *scratch, dur time.Duration, err error) {
+	m := l.om
+	d := &sc.stats
 	ev := obs.CellEvent{
 		Cell:      int(id),
 		Round:     round,

@@ -119,7 +119,8 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 		inFlight int
 		buffered = make(map[int]*scratch, lookahead)
 		failed   []design.CellID
-		halted   bool // canceled or fatal: stop applying, drain, exit
+		halted   bool  // canceled or fatal: stop applying, drain, exit
+		batch    []int // NextBatch dispatch buffer, reused per iteration
 	)
 	discard := func(sc *scratch) {
 		// Speculative work the serial driver never did: drop its stats
@@ -203,18 +204,19 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 			applyHead()
 			continue
 		}
-		// Dispatch as much as scratches and the horizon allow.
+		// Dispatch as much as scratches and the horizon allow, claiming
+		// the whole eligible set in one board round-trip (NextBatch
+		// dispatches the identical set and order a Next loop would).
 		dispatched := false
-		for len(pool) > 0 {
-			i, ok := board.Next()
-			if !ok {
-				break
+		if len(pool) > 0 {
+			batch = board.NextBatch(batch[:0], len(pool))
+			for _, i := range batch {
+				sc := pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				inFlight++
+				tasks <- planTask{idx: i, gen: gen, sc: sc}
+				dispatched = true
 			}
-			sc := pool[len(pool)-1]
-			pool = pool[:len(pool)-1]
-			inFlight++
-			tasks <- planTask{idx: i, gen: gen, sc: sc}
-			dispatched = true
 		}
 		if _, ok := buffered[board.Head()]; ok {
 			continue
@@ -252,13 +254,13 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 	}
 
 	if ctr := board.Counters(); ctr.Dispatched > 0 {
-		l.schedCounters.Dispatched += ctr.Dispatched
-		l.schedCounters.Deferred += ctr.Deferred
-		l.schedCounters.Invalidated += ctr.Invalidated
+		l.schedCounters.Add(ctr)
 		if l.om != nil {
 			l.om.schedDispatched.Add(ctr.Dispatched)
 			l.om.schedDeferred.Add(ctr.Deferred)
 			l.om.schedInvalidated.Add(ctr.Invalidated)
+			l.om.schedBatches.Add(ctr.Batches)
+			l.om.schedBatched.Add(ctr.Batched)
 		}
 	}
 	return failed

@@ -111,16 +111,17 @@ type scratch struct {
 	movedList []int32
 
 	// --- extraction cache (per-attempt lookup/capture state; cache.go) ---
-	memo      *extractMemo // valid entry found by the lookup, nil otherwise
-	memoKey   geom.Rect    // clipped window key of the current attempt
-	memoKeyOK bool         // a cache lookup happened this attempt
-	memoNoIP  bool         // entry proves no insertion point for this shape
-	seedOK    bool         // a carry-forward incumbent is available
-	seedCost  float64      // the incumbent (prior cost + |Δtx|)
-	storeKind uint8        // pending post-rollback publish (storeNone/NoIP/Seed)
-	depSegs   []depRec     // dependency capture buffer (flush time, reused)
-	ctRows    []int32      // content signature buffer: per-row counts
-	ctRecs    []contentRec // content signature buffer: cell records
+	cc        *extractCache // shard-local cache during sharded rounds; nil = the legalizer's shared cache
+	memo      *extractMemo  // valid entry found by the lookup, nil otherwise
+	memoKey   geom.Rect     // clipped window key of the current attempt
+	memoKeyOK bool          // a cache lookup happened this attempt
+	memoNoIP  bool          // entry proves no insertion point for this shape
+	seedOK    bool          // a carry-forward incumbent is available
+	seedCost  float64       // the incumbent (prior cost + |Δtx|)
+	storeKind uint8         // pending post-rollback publish (storeNone/NoIP/Seed)
+	depSegs   []depRec      // dependency capture buffer (flush time, reused)
+	ctRows    []int32       // content signature buffer: per-row counts
+	ctRecs    []contentRec  // content signature buffer: cell records
 
 	// --- per-attempt plan, stats shard, phase timing ---
 	plan   plan

@@ -17,9 +17,10 @@ import (
 
 // The golden determinism suite pins one placement checksum per Table-1
 // benchmark and recomputes it under every scheduling and search mode the
-// engine claims is result-identical: workers ∈ {1, 4} × {best-first,
-// exhaustive} search. Any divergence — between configurations, between
-// machines, or against the pinned file — is a determinism regression.
+// engine claims is result-identical: (workers ∈ {1, 4} ∪ shards ∈ {1, 4})
+// × {best-first, exhaustive} search. Any divergence — between
+// configurations, between machines, or against the pinned file — is a
+// determinism regression.
 //
 // Regenerate testdata/golden_checksums.txt after an intentional
 // algorithmic change with:
@@ -40,7 +41,7 @@ const goldenScale = 800
 
 const goldenFile = "testdata/golden_checksums.txt"
 
-// goldenConfigs are the four configurations whose placements must agree.
+// goldenConfigs are the eight configurations whose placements must agree.
 func goldenConfigs() []struct {
 	tag string
 	cfg core.Config
@@ -49,27 +50,38 @@ func goldenConfigs() []struct {
 		tag string
 		cfg core.Config
 	}
+	add := func(tag string, cfg core.Config) {
+		switch *extractCacheFlag {
+		case "on":
+			cfg.ExtractCache = true
+		case "off":
+			cfg.ExtractCache = false
+		}
+		out = append(out, struct {
+			tag string
+			cfg core.Config
+		}{tag, cfg})
+	}
+	mode := func(exhaustive bool) string {
+		if exhaustive {
+			return "exhaustive"
+		}
+		return "best-first"
+	}
 	for _, workers := range []int{1, 4} {
 		for _, exhaustive := range []bool{false, true} {
 			cfg := core.DefaultConfig()
 			cfg.Workers = workers
 			cfg.ExhaustiveSearch = exhaustive
-			switch *extractCacheFlag {
-			case "on":
-				cfg.ExtractCache = true
-			case "off":
-				cfg.ExtractCache = false
-			}
-			tag := fmt.Sprintf("w%d/", workers)
-			if exhaustive {
-				tag += "exhaustive"
-			} else {
-				tag += "best-first"
-			}
-			out = append(out, struct {
-				tag string
-				cfg core.Config
-			}{tag, cfg})
+			add(fmt.Sprintf("w%d/%s", workers, mode(exhaustive)), cfg)
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		for _, exhaustive := range []bool{false, true} {
+			cfg := core.DefaultConfig()
+			cfg.Shards = shards
+			cfg.ExhaustiveSearch = exhaustive
+			add(fmt.Sprintf("s%d/%s", shards, mode(exhaustive)), cfg)
 		}
 	}
 	return out

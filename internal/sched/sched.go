@@ -54,6 +54,17 @@ type Counters struct {
 	Dispatched  int64 // claims handed to workers (includes re-dispatches)
 	Deferred    int64 // eligibility checks that found a conflicting earlier claim
 	Invalidated int64 // dispatched claims discarded by a generation bump
+	Batches     int64 // NextBatch scans (board round-trips)
+	Batched     int64 // claims dispatched through NextBatch
+}
+
+// Add accumulates another snapshot into c.
+func (c *Counters) Add(o Counters) {
+	c.Dispatched += o.Dispatched
+	c.Deferred += o.Deferred
+	c.Invalidated += o.Invalidated
+	c.Batches += o.Batches
+	c.Batched += o.Batched
 }
 
 // Board schedules one ordered sequence of claims. It is not
@@ -95,6 +106,37 @@ func (b *Board) Next() (int, bool) {
 		return i, true
 	}
 	return 0, false
+}
+
+// NextBatch dispatches every currently-eligible cell inside the horizon
+// in one scan, appending their round indices to out (at most max of
+// them) and returning the extended slice. It is the batched form of
+// Next: one board round-trip claims many cells, amortizing the per-call
+// eligibility rescans that dominate claim traffic on dense rounds.
+//
+// Dispatch order and the dispatched set are identical to calling Next in
+// a loop until it returns ok == false or max cells are taken: blocked
+// only inspects claim geometry over [head, i), never dispatch state, so
+// claiming cell i during the scan cannot change the verdict for any
+// later cell in the same scan.
+func (b *Board) NextBatch(out []int, max int) []int {
+	b.ctr.Batches++
+	hi := min(len(b.claims), b.head+b.lookahead)
+	n0 := len(out)
+	for i := b.head; i < hi && len(out)-n0 < max; i++ {
+		if b.st[i] != pending {
+			continue
+		}
+		if b.blocked(i) {
+			b.ctr.Deferred++
+			continue
+		}
+		b.st[i] = dispatched
+		b.ctr.Dispatched++
+		out = append(out, i)
+	}
+	b.ctr.Batched += int64(len(out) - n0)
+	return out
 }
 
 // blocked reports whether an earlier un-applied claim overlaps claim i.

@@ -34,6 +34,9 @@ type Limits struct {
 	// MaxWorkers caps the per-job planning goroutines a client may
 	// request. Default 4 (the pool provides cross-job parallelism).
 	MaxWorkers int
+	// MaxShards caps the per-job spatial shard count a client may
+	// request. Default 16.
+	MaxShards int
 }
 
 func (l *Limits) defaults() {
@@ -51,6 +54,9 @@ func (l *Limits) defaults() {
 	}
 	if l.MaxWorkers <= 0 {
 		l.MaxWorkers = 4
+	}
+	if l.MaxShards <= 0 {
+		l.MaxShards = 16
 	}
 }
 
@@ -185,6 +191,7 @@ type ConfigJSON struct {
 	ExhaustiveSearch *bool  `json:"exhaustive_search,omitempty"`
 	ExtractCache     *bool  `json:"extract_cache,omitempty"`
 	Workers          *int   `json:"workers,omitempty"`
+	Shards           *int   `json:"shards,omitempty"`
 	CellTimeoutMS    *int64 `json:"cell_timeout_ms,omitempty"`
 	AuditEvery       *int   `json:"audit_every,omitempty"`
 }
@@ -499,6 +506,9 @@ func applyConfig(base core.Config, cj *ConfigJSON, lim Limits) (core.Config, err
 		return cfg, err
 	}
 	if err := setInt(&cfg.Workers, cj.Workers, "workers", 1, lim.MaxWorkers); err != nil {
+		return cfg, err
+	}
+	if err := setInt(&cfg.Shards, cj.Shards, "shards", 0, lim.MaxShards); err != nil {
 		return cfg, err
 	}
 	if err := setInt(&cfg.AuditEvery, cj.AuditEvery, "audit_every", 0, 1_000_000); err != nil {

@@ -67,7 +67,7 @@ func TestDecodeSubmitDesignJSON(t *testing.T) {
 				{Cell: 0, DX: 1, DY: 0.5}, {Cell: 1, DX: 0, DY: 0}, {Cell: -1, DX: 40, DY: 2},
 			}}},
 		},
-		Config: &ConfigJSON{Rx: intp(20), Workers: intp(2), Seed: int64p(7)},
+		Config: &ConfigJSON{Rx: intp(20), Workers: intp(2), Shards: intp(4), Seed: int64p(7)},
 	}
 	p, err := DecodeSubmit(strings.NewReader(submitJSON(t, req)), core.DefaultConfig(), Limits{})
 	if err != nil {
@@ -79,7 +79,7 @@ func TestDecodeSubmitDesignJSON(t *testing.T) {
 	if !p.d.Cells[2].Fixed || !p.d.Cells[2].Placed {
 		t.Fatal("fixed cell lost")
 	}
-	if p.cfg.Rx != 20 || p.cfg.Workers != 2 || p.cfg.Seed != 7 {
+	if p.cfg.Rx != 20 || p.cfg.Workers != 2 || p.cfg.Shards != 4 || p.cfg.Seed != 7 {
 		t.Fatalf("config overrides lost: %+v", p.cfg)
 	}
 	// The legalizer must accept what the decoder admits.
@@ -134,6 +134,8 @@ func TestDecodeSubmitRejects(t *testing.T) {
 		{"bookshelf missing file", submitJSON(t, SubmitRequest{Bookshelf: &BookshelfJSON{Aux: "q.aux"}}), Limits{}},
 		{"config out of range", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Rx: intp(-3)}}), Limits{}},
 		{"config workers over cap", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Workers: intp(64)}}), Limits{}},
+		{"config shards over cap", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Shards: intp(64)}}), Limits{}},
+		{"config negative shards", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Shards: intp(-1)}}), Limits{}},
 		{"config bad cell timeout", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{CellTimeoutMS: int64p(-5)}}), Limits{}},
 		{"design json empty rows", `{"design":{"name":"x","site_w":200,"site_h":2000,"masters":[],"cells":[],"rows":[]}}`, Limits{}},
 		{"design json row disorder", `{"design":{"name":"x","site_w":200,"site_h":2000,"rows":[{"y":1,"lo":0,"hi":10}],"masters":[],"cells":[]}}`, Limits{}},
