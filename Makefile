@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit bench-json bench-smoke bench-shard-smoke serve-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit fuzz-tune bench-json bench-smoke bench-shard-smoke bench-tune-smoke serve-smoke clean
 
-check: vet build race cover
+check: vet build race cover bench-tune-smoke
 
 vet:
 	$(GO) vet ./...
@@ -44,8 +44,9 @@ fuzz-cache:
 
 # Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
 # Table-1 flow once per worker count), BENCH_prune.json (best-first search
-# vs exhaustive sweep), BENCH_cache.json (extraction cache off vs on) and
-# BENCH_shard.json (spatial sharding size x K sweep); see
+# vs exhaustive sweep), BENCH_cache.json (extraction cache off vs on),
+# BENCH_shard.json (spatial sharding size x K sweep) and BENCH_tune.json
+# (adaptive search guidance: exhaustive / static / online / replay); see
 # docs/PERFORMANCE.md. Results depend on the machine; num_cpu,
 # go_max_procs and speedup_valid are recorded in the parallel and shard
 # artifacts — on a single-CPU box every speedup field is suppressed.
@@ -58,6 +59,8 @@ bench-json:
 		-json BENCH_cache.json -no-progress
 	$(GO) run ./cmd/mrbench -experiment shard -sizes 5000,20000 -shards 1,2,4,8 \
 		-json BENCH_shard.json -no-progress
+	$(GO) run ./cmd/mrbench -experiment tune -scale 400 -rx 60 -ry 10 \
+		-json BENCH_tune.json -no-progress
 
 # Shard-parity smoke (CI gate): a small design legalized with 4 spatial
 # shards under the race detector must be byte-identical to the serial
@@ -66,6 +69,23 @@ bench-json:
 bench-shard-smoke:
 	$(GO) test -race -short ./internal/core \
 		-run 'TestShardMatchesSerialAcrossK|TestShardZeroClaimTraffic'
+
+# Search-guidance equivalence smoke (CI gate): Tune=off must hold the
+# pinned golden checksums, the tune unit suite must pass, and a replayed
+# policy log must reproduce the online run's placement checksum across
+# workers {1,4} x shards {1,4} under the race detector
+# (docs/PERFORMANCE.md §8).
+bench-tune-smoke:
+	$(GO) test -race ./internal/tune
+	$(GO) test -race ./internal/experiments \
+		-run 'TestTuneReplayMatchesOnline|TestTuneOffMatchesUntuned|TestGoldenPlacements'
+
+# Short fuzz session over the policy-log round-trip property: decoding
+# arbitrary bytes never panics, and an accepted log re-encodes to the
+# same decision sequence (docs/PERFORMANCE.md §8).
+fuzz-tune:
+	$(GO) test ./internal/tune -run FuzzPolicyLogRoundTrip \
+		-fuzz FuzzPolicyLogRoundTrip -fuzztime 30s
 
 # Short fuzz session over the job-submission decoder — the boundary
 # between the network and the engine (docs/SERVICE.md).

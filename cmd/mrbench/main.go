@@ -15,6 +15,8 @@
 //	        -json BENCH_cache.json                   # extraction cache off vs on
 //	mrbench -experiment shard -sizes 20000,1000000 \
 //	        -json BENCH_shard.json                   # spatial sharding sweep (§7)
+//	mrbench -experiment tune -scale 400 \
+//	        -json BENCH_tune.json                    # adaptive search guidance (§8)
 //	mrbench -experiment table1 -skip-ilp -metrics \
 //	        -trace-out trace.jsonl                   # + Prometheus dump & JSONL trace
 package main
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache | shard")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache | shard | tune")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
@@ -57,6 +59,13 @@ func main() {
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+	// Explicitly-passed zero or negative counts are configuration errors,
+	// not requests for the "auto" default — fail fast with usage.
+	if err := rejectNonPositiveListFlags("workers", "shards", "sizes"); err != nil {
+		fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	stop, err := prof.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
@@ -237,6 +246,24 @@ func main() {
 		} else {
 			experiments.PrintPrune(os.Stdout, rep)
 		}
+	case "tune":
+		rep := experiments.RunTune(cfg)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WriteTuneJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintTune(os.Stdout, rep)
+		}
 	case "cache":
 		rep := experiments.RunCache(cfg)
 		if *jsonOut != "" {
@@ -260,6 +287,37 @@ func main() {
 		stop()
 		os.Exit(2)
 	}
+}
+
+// rejectNonPositiveListFlags validates the named comma-separated count
+// flags: any explicitly-passed entry that parses as an integer <= 0 is an
+// error. Omitted flags keep their default (auto) semantics; non-integer
+// junk is left for the per-experiment parser so the error names the
+// experiment that needed the flag.
+func rejectNonPositiveListFlags(names ...string) error {
+	var err error
+	flag.Visit(func(f *flag.Flag) {
+		if err != nil || !contains(names, f.Name) {
+			return
+		}
+		for _, field := range strings.Split(f.Value.String(), ",") {
+			n, perr := strconv.Atoi(strings.TrimSpace(field))
+			if perr == nil && n <= 0 {
+				err = fmt.Errorf("-%s: count must be positive, got %d", f.Name, n)
+				return
+			}
+		}
+	})
+	return err
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // parseWorkers parses a comma-separated list of worker counts.

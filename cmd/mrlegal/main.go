@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"mrlegal/internal/obs"
 	"mrlegal/internal/profiling"
 	"mrlegal/internal/render"
+	"mrlegal/internal/tune"
 	"mrlegal/internal/verify"
 )
 
@@ -64,12 +66,27 @@ func main() {
 		auditEvery  = flag.Int("audit-every", 0, "run a full invariant audit every N placements, rolling back the batch on violation (0 = off)")
 		workers     = flag.Int("workers", 0, "planning goroutines per round (0 = NumCPU, 1 = serial; results are identical either way)")
 		shards      = flag.Int("shards", 0, "spatial die shards per round (0 = off; overrides -workers, results are identical at any count)")
+		tuneFlag    = flag.String("tune", "off", "adaptive search guidance: off | online | replay (docs/PERFORMANCE.md §8)")
+		tuneLogPath = flag.String("tune-log", "", "policy log file: read as the recorded policy with -tune replay, written with the recorded policy after a -tune online run")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve live Prometheus metrics at http://ADDR/metrics during the run (':0' picks a free port; see docs/OBSERVABILITY.md)")
 		traceFlag   = flag.String("trace-out", "", "write the per-cell JSONL placement trace to this file ('-' = stdout)")
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+	// An explicitly-passed zero or negative count is a configuration
+	// error, not a request for the flag's "auto/off" default — fail fast
+	// with usage instead of silently running in a different mode.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name != "workers" && f.Name != "shards" {
+			return
+		}
+		if n, err := strconv.Atoi(f.Value.String()); err == nil && n <= 0 {
+			fmt.Fprintf(os.Stderr, "mrlegal: -%s: count must be positive, got %d\n", f.Name, n)
+			flag.Usage()
+			os.Exit(2)
+		}
+	})
 	stop, err := prof.Start()
 	if err != nil {
 		fatal(err)
@@ -121,6 +138,26 @@ func main() {
 	cfg.PhaseTiming = !*quiet
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}
+	}
+	tuneMode, err := tune.ParseMode(*tuneFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Tune = tuneMode
+	if tuneMode == tune.Replay {
+		if *tuneLogPath == "" {
+			fatal(errors.New("-tune replay requires -tune-log"))
+		}
+		f, err := os.Open(*tuneLogPath)
+		if err != nil {
+			fatal(err)
+		}
+		lg, err := tune.DecodeLog(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("tune-log: %w", err))
+		}
+		cfg.TuneLog = lg
 	}
 
 	// Observability: a shared observer feeds the -metrics-addr exposition
@@ -195,6 +232,20 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if tuneMode == tune.Online && *tuneLogPath != "" {
+		f, err := os.Create(*tuneLogPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = l.RecordedTuneLog().Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(fmt.Errorf("tune-log: %w", err))
+		}
+	}
+
 	flushTrace()
 	if observer != nil {
 		if err := observer.TraceErr(); err != nil {
@@ -225,6 +276,10 @@ func main() {
 		if st.ExtractCacheHits > 0 || st.ExtractCacheMisses > 0 || st.ExtractCacheInvalidations > 0 {
 			fmt.Fprintf(os.Stderr, "  extract cache    : %d hits, %d misses, %d invalidated, %d seeded bounds\n",
 				st.ExtractCacheHits, st.ExtractCacheMisses, st.ExtractCacheInvalidations, st.SeedBoundsApplied)
+		}
+		if st.TuneDecisions > 0 {
+			fmt.Fprintf(os.Stderr, "  search guidance  : %d decisions, %d windows promoted, %d cutoff window skips\n",
+				st.TuneDecisions, st.TuneWindowsPromoted, st.TuneWinCutSkips)
 		}
 		if ph := l.Phases(); ph.Total() > 0 {
 			fmt.Fprintf(os.Stderr, "  MLL phase times  : extract %s, enumerate %s, evaluate %s, realize %s\n",

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -50,6 +51,19 @@ func main() {
 		traceFlag = flag.String("trace-out", "", "write per-cell JSONL placement traces to this file")
 	)
 	flag.Parse()
+	// An explicitly-passed zero or negative count is a configuration
+	// error, not a request for the flag's "auto/default" semantics — fail
+	// fast with usage instead of silently running in a different mode.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workers", "max-workers", "max-shards":
+			if n, err := strconv.Atoi(f.Value.String()); err == nil && n <= 0 {
+				fmt.Fprintf(os.Stderr, "mrserve: -%s: count must be positive, got %d\n", f.Name, n)
+				flag.Usage()
+				os.Exit(2)
+			}
+		}
+	})
 
 	base := core.DefaultConfig()
 	base.Rx, base.Ry = *rx, *ry

@@ -109,6 +109,11 @@ type memoOutcome struct {
 	// incumbent for a later attempt at tx' with the same ty.
 	hasSeed                  bool
 	seedTx, seedTy, seedCost float64
+
+	// seedRow is the absolute bottom row of the seed candidate's window.
+	// When the tuner is active a later search over the same content opens
+	// this window first (placement-neutral — see searchBest).
+	seedRow int
 }
 
 // extractMemo is one immutable cache entry. The slabs are never mutated
@@ -414,6 +419,12 @@ func (l *Legalizer) cachedExtract(sc *scratch, c *design.Cell, win geom.Rect, tx
 				if o.hasSeed && o.seedTy == ty {
 					sc.seedOK = true
 					sc.seedCost = o.seedCost + math.Abs(tx-o.seedTx)
+					if l.tuner != nil {
+						// Guided ordering only when the tuner is on, so an
+						// off run's search-activity counters stay
+						// byte-identical to the pre-guidance goldens.
+						sc.tunePromote = int32(o.seedRow)
+					}
 				}
 			}
 			if sc.memoNoIP {
@@ -526,7 +537,10 @@ func (l *Legalizer) cacheStore(sc *scratch, err error) {
 	p := &sc.plan
 	switch {
 	case p.kind == planFailed && errors.Is(err, ErrNoInsertionPoint) &&
-		sc.expired == nil && !sc.memoNoIP && !sc.seedOK:
+		sc.expired == nil && !sc.cutTruncated && !sc.memoNoIP && !sc.seedOK:
+		// A sweep truncated by the learned cutoff proves nothing about the
+		// windows it never entered, so its failure must not be memoized as
+		// a content-wide no-insertion-point verdict.
 		sc.storeKind = storeNoIP
 	case p.kind == planMLL:
 		sc.storeKind = storeSeed
@@ -603,6 +617,7 @@ func (l *Legalizer) cacheFlush(sc *scratch) {
 	} else {
 		o.hasSeed = true
 		o.seedTx, o.seedTy, o.seedCost = p.tx, p.ty, p.cost
+		o.seedRow = p.row
 	}
 	l.cachePut(sc, m.win, m)
 }

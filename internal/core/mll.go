@@ -11,6 +11,7 @@ import (
 	"mrlegal/internal/obs"
 	"mrlegal/internal/sched"
 	"mrlegal/internal/segment"
+	"mrlegal/internal/tune"
 )
 
 // Config tunes the legalizer. The zero value is NOT usable; start from
@@ -146,6 +147,22 @@ type Config struct {
 	// internal/faultinject). Nil in production.
 	Faults FaultInjector
 
+	// Tune selects the adaptive search-guidance layer (internal/tune):
+	// tune.Off (the zero value) disables it entirely — placements, Stats
+	// and the rng stream are byte-identical to a build without the layer
+	// (golden-gated); tune.Online adapts per-family retry radii, window
+	// ordering and sweep cutoffs at round boundaries, recording every
+	// decision; tune.Replay re-applies the recorded log in TuneLog instead
+	// of deciding online, reproducing the recording run's placements
+	// exactly under the same configuration. Ignored (silently off, like
+	// ExtractCache) when an external Solver is set: guidance steers the
+	// built-in search only.
+	Tune tune.Mode
+
+	// TuneLog is the recorded policy log a tune.Replay run re-applies.
+	// Required when Tune == tune.Replay; ignored otherwise.
+	TuneLog *tune.Log
+
 	// Obs, when non-nil, attaches the observability layer: the metric
 	// registry, the per-cell trace ring and any configured sinks (see
 	// internal/obs and docs/OBSERVABILITY.md). Nil disables everything at
@@ -214,6 +231,18 @@ type Stats struct {
 	ExtractCacheMisses        int64 // lookups that found no entry
 	ExtractCacheInvalidations int64 // lookups that found a stale entry
 	SeedBoundsApplied         int64 // searches seeded with a carry-forward incumbent
+
+	// Adaptive search-guidance activity (all zero when Config.Tune is
+	// tune.Off). TuneDecisions counts policy decisions applied at round
+	// boundaries (one per cell family per round); TuneWindowsPromoted
+	// counts best-first searches whose historically-winning window was
+	// rotated to the front of the visit order; TuneWinCutSkips counts
+	// windows never entered because the learned sweep cutoff truncated the
+	// visit list. Like the cache counters these are deterministic per
+	// configuration.
+	TuneDecisions       int64
+	TuneWindowsPromoted int64
+	TuneWinCutSkips     int64
 
 	CellsPushed int64 // local cells moved by realizations
 	RetryRounds int   // extra Algorithm-1 rounds needed
@@ -301,6 +330,17 @@ type Legalizer struct {
 	// and configuration: classification depends only on claim geometry
 	// and round order, never on worker timing.
 	shardCounters sched.ShardCounters
+
+	// tuner is the adaptive search-guidance controller, nil when
+	// Config.Tune is off (or an external Solver is set). Decisions are
+	// made only at round boundaries on the owner goroutine; workers feed
+	// it observations through its own mutex.
+	tuner *tune.Controller
+
+	// tuneRx/tuneRy/tuneCut hold the per-family effective radii and sweep
+	// cutoffs of the current round, written by placeRound before any
+	// planning starts and read-only while workers are in flight.
+	tuneRx, tuneRy, tuneCut [tune.NumFamilies]int
 }
 
 // LastMoved returns the cells pushed aside by the most recent successful
@@ -320,7 +360,25 @@ func NewLegalizer(d *design.Design, cfg Config) (*Legalizer, error) {
 	if cfg.Obs != nil {
 		l.om = newObsMetrics(cfg.Obs)
 	}
+	if cfg.Tune != tune.Off && cfg.Solver == nil {
+		t, err := tune.NewController(cfg.Tune, cfg.TuneLog)
+		if err != nil {
+			return nil, err
+		}
+		l.tuner = t
+	}
 	return l, nil
+}
+
+// RecordedTuneLog returns the policy log of every guidance decision the
+// run applied (nil when Config.Tune is off). An online run's log, fed
+// back through Config.TuneLog with Tune == tune.Replay under the same
+// configuration, reproduces its placements bit for bit.
+func (l *Legalizer) RecordedTuneLog() *tune.Log {
+	if l.tuner == nil {
+		return nil
+	}
+	return l.tuner.RecordedLog()
 }
 
 // Stats returns a snapshot of activity counters.
@@ -360,6 +418,7 @@ func (l *Legalizer) mllAt(id design.CellID, tx, ty float64, rx, ry int) error {
 	sc := l.scratchFor()
 	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
 	l.resetCancel(sc)
+	l.armTune(sc, l.D.Cell(id).H)
 	l.gridMu.RLock()
 	r := l.extractPlan(sc, id, tx, ty, rx, ry)
 	l.gridMu.RUnlock()
@@ -408,10 +467,27 @@ func (l *Legalizer) planCell(sc *scratch, id design.CellID, tx, ty float64, rx, 
 	sc.planDur = time.Since(t0)
 }
 
+// armTune resets the scratch's per-attempt guidance state and installs
+// the current round's sweep cutoff for the cell's family. With no tuner
+// the fields stay at their neutral values, so the best-first search runs
+// exactly as before the layer existed.
+func (l *Legalizer) armTune(sc *scratch, h int) {
+	sc.tunePromote = -1
+	sc.tuneWinDepth = -1
+	sc.curWinRank = -1
+	sc.cutTruncated = false
+	if l.tuner != nil {
+		sc.tuneCut = int32(l.tuneCut[tune.FamilyOf(h)])
+	} else {
+		sc.tuneCut = 0
+	}
+}
+
 func (l *Legalizer) planCellInner(sc *scratch, id design.CellID, tx, ty float64, rx, ry int) {
 	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
 	l.resetCancel(sc)
 	c := l.D.Cell(id)
+	l.armTune(sc, c.H)
 	l.gridMu.RLock()
 	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
 		l.gridMu.RUnlock()
@@ -502,6 +578,7 @@ func (l *Legalizer) selectPlan(sc *scratch, r *Region, tx, ty float64) {
 	sc.plan.kind = planMLL
 	sc.plan.ip = ip
 	sc.plan.ipX = x
+	sc.plan.row = r.AbsRow(ip.BottomRel)
 }
 
 // commitPlan applies a computed plan, mutating design and grid. It must
@@ -672,6 +749,10 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 			found = true
 			bestEv = ev
 			sc.retainBest(ip)
+			// Promotion-independent sorted rank of the winning window
+			// (−1 under the exhaustive sweep), feeding the tuner's sweep
+			// cutoff statistics.
+			sc.tuneWinDepth = sc.curWinRank
 		}
 		if sc.cancelCheck() {
 			return false

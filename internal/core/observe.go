@@ -77,6 +77,12 @@ type obsMetrics struct {
 	shardSeam      *obs.Counter
 	shardSyncEdges *obs.Counter
 
+	// Adaptive search-guidance activity (internal/tune).
+	tuneDecisions       *obs.Counter
+	tuneArmPulls        *obs.Counter
+	tuneWindowsPromoted *obs.Counter
+	tuneWinCutSkips     *obs.Counter
+
 	// Distributions.
 	attemptSeconds *obs.Histogram
 	runSeconds     *obs.Histogram
@@ -132,6 +138,11 @@ func newObsMetrics(o *obs.Observer) *obsMetrics {
 		shardSeam:      r.Counter("mrlegal_shard_seam_cells_total", "Boundary-crossing cells routed to the sequential seam thread."),
 		shardSyncEdges: r.Counter("mrlegal_shard_sync_edges_total", "Cross-thread ordering edges over seam-interior claim conflicts."),
 
+		tuneDecisions:       r.Counter("mrlegal_tune_decisions_total", "Search-guidance policy decisions applied at round boundaries."),
+		tuneArmPulls:        r.Counter("mrlegal_tune_arm_pulls_total", "Bandit arm pulls credited with a round's observed reward."),
+		tuneWindowsPromoted: r.Counter("mrlegal_tune_windows_promoted_total", "Best-first searches that opened the historically-winning window first."),
+		tuneWinCutSkips:     r.Counter("mrlegal_tune_wincut_skips_total", "Candidate windows skipped by the learned sweep cutoff."),
+
 		attemptSeconds: r.Histogram("mrlegal_attempt_seconds", "Wall time of one cell placement attempt (plan + commit).", nil),
 		runSeconds:     r.Histogram("mrlegal_run_seconds", "Wall time of one full legalization run.", nil),
 		dispSites:      r.Histogram("mrlegal_cell_displacement_sites", "Displacement of each placed cell in site widths.", dispBuckets),
@@ -168,6 +179,8 @@ func (m *obsMetrics) addMerge(s *Stats, p *PhaseTimes) {
 	m.cacheInvalidated.Add(s.ExtractCacheInvalidations)
 	m.seedBounds.Add(s.SeedBoundsApplied)
 	m.cellsPushed.Add(s.CellsPushed)
+	m.tuneWindowsPromoted.Add(s.TuneWindowsPromoted)
+	m.tuneWinCutSkips.Add(s.TuneWinCutSkips)
 	for i, d := range [4]time.Duration{p.Extract, p.Enumerate, p.Evaluate, p.Realize} {
 		if d > 0 {
 			m.phaseHists[i].Observe(d.Seconds())

@@ -80,7 +80,7 @@ func (l *Legalizer) scratchPool(n int) []*scratch {
 // placeRoundParallel is placeRound's plan-in-parallel, commit-in-order
 // engine. cells and targets are parallel slices in round order; round is
 // the Algorithm-1 round number (observability only).
-func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarget, round, rx, ry, workers int, st *runState) []design.CellID {
+func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarget, round, workers int, st *runState) []design.CellID {
 	n := len(cells)
 	lookahead := workers * 4
 	if lookahead > n {
@@ -88,7 +88,7 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 	}
 	claims := make([]sched.Claim, n)
 	for i, id := range cells {
-		claims[i] = l.claimFor(id, targets[i].tx, targets[i].ty, rx, ry)
+		claims[i] = l.claimFor(id, targets[i].tx, targets[i].ty, targets[i].rx, targets[i].ry)
 	}
 	board := sched.NewBoard(claims, lookahead)
 
@@ -103,7 +103,7 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 		go func(w int) {
 			defer wg.Done()
 			for t := range tasks {
-				l.planCell(t.sc, cells[t.idx], targets[t.idx].tx, targets[t.idx].ty, rx, ry)
+				l.planCell(t.sc, cells[t.idx], targets[t.idx].tx, targets[t.idx].ty, targets[t.idx].rx, targets[t.idx].ry)
 				if l.om != nil {
 					// Worker-local shard: merged on read, never contended.
 					t.sc.worker = w
@@ -157,8 +157,11 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 		}
 		var s0 Stats
 		var t0 time.Time
+		if l.om != nil || l.tuner != nil {
+			s0 = l.stats
+		}
 		if l.om != nil {
-			s0, t0 = l.stats, time.Now()
+			t0 = time.Now()
 		}
 		l.gridMu.Lock()
 		err := l.attempt(id, func() error { return l.commitPlan(sc) })
@@ -174,8 +177,12 @@ func (l *Legalizer) placeRoundParallel(cells []design.CellID, targets []planTarg
 			// The event's duration is the worker's planning time plus the
 			// coordinator's commit time; the stats delta is complete here
 			// because mergeScratch just folded the shard in.
-			l.observeAttempt(id, round, rx, ry, sc.worker, s0, sc.planDur+time.Since(t0), err)
+			l.observeAttempt(id, round, targets[i].rx, targets[i].ry, sc.worker, s0, sc.planDur+time.Since(t0), err)
 		}
+		// Only applied plans are observed — discarded speculation never
+		// feeds the bandit, so the observation set matches the serial
+		// driver's at every worker count.
+		l.tuneObserve(id, s0, l.stats, sc, err)
 		pool = append(pool, sc)
 		board.Applied(i)
 		if err != nil {

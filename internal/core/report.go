@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"mrlegal/internal/design"
+	"mrlegal/internal/sched"
 )
 
 // CellFailure records why one cell could not be placed. Err wraps a
@@ -50,6 +51,13 @@ type Report struct {
 	// run.
 	Stats Stats
 
+	// ShardRouting is the spatial shard router's cumulative claim
+	// classification for the run (all-zero unless Config.Shards selected
+	// the sharded driver): interior vs seam claim counts, cross-thread
+	// ordering edges, and seam-thread dispatch activity. Deterministic for
+	// a fixed input and configuration, like Stats.
+	ShardRouting sched.ShardCounters
+
 	// Phases is the per-phase wall-clock breakdown of the run's MLL work
 	// (all-zero unless Config.PhaseTiming is on). It lives outside Stats
 	// because wall-clock durations are never run-to-run comparable, while
@@ -86,6 +94,15 @@ func (r *Report) Summary(maxFailures int) string {
 	if s := r.Stats; s.ExtractCacheHits > 0 || s.ExtractCacheMisses > 0 || s.ExtractCacheInvalidations > 0 {
 		fmt.Fprintf(&b, "\n  extract cache: %d hits, %d misses, %d invalidated, %d seeded bounds",
 			s.ExtractCacheHits, s.ExtractCacheMisses, s.ExtractCacheInvalidations, s.SeedBoundsApplied)
+	}
+	if sr := r.ShardRouting; sr.Interior > 0 || sr.Seam > 0 {
+		total := sr.Interior + sr.Seam
+		fmt.Fprintf(&b, "\n  shard routing: %d interior, %d seam (%.1f%% seam), %d sync edges, %d seam dispatched",
+			sr.Interior, sr.Seam, 100*float64(sr.Seam)/float64(total), sr.SyncEdges, sr.SeamDispatched)
+	}
+	if s := r.Stats; s.TuneDecisions > 0 {
+		fmt.Fprintf(&b, "\n  search guidance: %d decisions, %d windows promoted, %d cutoff window skips",
+			s.TuneDecisions, s.TuneWindowsPromoted, s.TuneWinCutSkips)
 	}
 	for i, f := range r.Failed {
 		if maxFailures > 0 && i >= maxFailures {

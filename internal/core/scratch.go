@@ -52,6 +52,7 @@ type plan struct {
 	ip     *InsertionPoint // planMLL: chosen insertion point (scratch-backed)
 	ipX    int             // planMLL: target x
 	cost   float64         // planMLL: the chosen candidate's evaluated cost
+	row    int             // planMLL: absolute bottom row of the chosen point
 	err    error           // planFailed: reason
 }
 
@@ -101,6 +102,13 @@ type scratch struct {
 	mrSide   []int8         // per multi-row cell: side pinned by the partial combo
 	mrTouch  []int32        // stack of mrSide entries set on the current DFS path
 
+	// --- adaptive search guidance (per-attempt; armTune resets) ---
+	tunePromote  int32 // absolute row to open first, -1 = none (cache seedRow)
+	tuneCut      int32 // sweep cutoff in windows entered, 0 = none
+	tuneWinDepth int   // sorted rank of the winner's window, -1 = none
+	curWinRank   int   // sorted rank of the window currently being searched
+	cutTruncated bool  // the sweep was truncated by tuneCut this attempt
+
 	// --- evaluation ---
 	lpts, rpts []float64
 	kL, kR     []int32 // dense clearances by local index; -1 = unreached
@@ -141,7 +149,8 @@ type scratch struct {
 }
 
 func newScratch() *scratch {
-	sc := &scratch{nonLocal: make(map[design.CellID]bool), worker: -1}
+	sc := &scratch{nonLocal: make(map[design.CellID]bool), worker: -1,
+		tunePromote: -1, tuneWinDepth: -1, curWinRank: -1}
 	sc.region.sc = sc
 	return sc
 }
@@ -173,6 +182,9 @@ func (l *Legalizer) mergeScratch(sc *scratch) {
 	d.WindowsPruned += s.WindowsPruned
 	d.CellsPushed += s.CellsPushed
 	d.RetryRounds += s.RetryRounds
+	d.TuneDecisions += s.TuneDecisions
+	d.TuneWindowsPromoted += s.TuneWindowsPromoted
+	d.TuneWinCutSkips += s.TuneWinCutSkips
 	d.ExtractCacheHits += s.ExtractCacheHits
 	d.ExtractCacheMisses += s.ExtractCacheMisses
 	d.ExtractCacheInvalidations += s.ExtractCacheInvalidations

@@ -161,14 +161,14 @@ func (l *Legalizer) ensureShardSlots(k int) {
 // placeRoundShard is placeRound's sharded engine. cells and targets are
 // parallel slices in round order; k is the requested shard count (≥ 1,
 // already capped by the cell count).
-func (l *Legalizer) placeRoundShard(cells []design.CellID, targets []planTarget, round, rx, ry, k int, st *runState) []design.CellID {
+func (l *Legalizer) placeRoundShard(cells []design.CellID, targets []planTarget, round, k int, st *runState) []design.CellID {
 	n := len(cells)
 	sp := l.G.XSpan()
 	claims := make([]sched.Claim, n)
 	centers := make([]int, n)
 	maxW := 1
 	for i, id := range cells {
-		cl := l.claimFor(id, targets[i].tx, targets[i].ty, rx, ry)
+		cl := l.claimFor(id, targets[i].tx, targets[i].ty, targets[i].rx, targets[i].ry)
 		claims[i] = cl
 		x0, x1 := max(cl.X0, sp.Lo), min(cl.X1, sp.Hi)
 		if w := x1 - x0; w > maxW {
@@ -223,7 +223,7 @@ func (l *Legalizer) placeRoundShard(cells []design.CellID, targets []planTarget,
 		wg.Add(1)
 		go func(w *shardWorker) {
 			defer wg.Done()
-			l.runShardWorker(w, schedule, prog, cells, targets, round, rx, ry, &stop)
+			l.runShardWorker(w, schedule, prog, cells, targets, round, &stop)
 		}(w)
 	}
 	// Dependency waits block on a condition variable, which a context
@@ -291,7 +291,7 @@ func (l *Legalizer) placeRoundShard(cells []design.CellID, targets []planTarget,
 // one critical section under the write lock, with the thread's batch
 // transaction installed in the legalizer's slot so the shared
 // touch/flush plumbing routes to it.
-func (l *Legalizer) runShardWorker(w *shardWorker, schedule *sched.ShardSchedule, prog *shardProgress, cells []design.CellID, targets []planTarget, round, rx, ry int, stop *atomic.Bool) {
+func (l *Legalizer) runShardWorker(w *shardWorker, schedule *sched.ShardSchedule, prog *shardProgress, cells []design.CellID, targets []planTarget, round int, stop *atomic.Bool) {
 	K := schedule.K()
 	for pos, idx := range w.idxs {
 		if stop.Load() || l.runCtx.Err() != nil {
@@ -327,11 +327,14 @@ func (l *Legalizer) runShardWorker(w *shardWorker, schedule *sched.ShardSchedule
 		id := cells[idx]
 		var s0 Stats
 		var t0 time.Time
+		if l.om != nil || l.tuner != nil {
+			s0 = w.sc.stats
+		}
 		if l.om != nil {
-			s0, t0 = w.sc.stats, time.Now()
+			t0 = time.Now()
 			w.sc.worker = w.wid
 		}
-		l.planCell(w.sc, id, targets[idx].tx, targets[idx].ty, rx, ry)
+		l.planCell(w.sc, id, targets[idx].tx, targets[idx].ty, targets[idx].rx, targets[idx].ry)
 		if l.om != nil {
 			l.om.workerPlans.Add(w.wid, 1)
 		}
@@ -350,8 +353,12 @@ func (l *Legalizer) runShardWorker(w *shardWorker, schedule *sched.ShardSchedule
 		l.gridMu.Unlock()
 		prog.advance(w.wid, idx)
 		if l.om != nil {
-			l.observeShardAttempt(id, round, rx, ry, w.wid, s0, w.sc, time.Since(t0), err)
+			l.observeShardAttempt(id, round, targets[idx].rx, targets[idx].ry, w.wid, s0, w.sc, time.Since(t0), err)
 		}
+		// Worker-side observation from the thread's own (pre-merge) stats
+		// shard; the tuner's accumulators are commutative, so the fold at
+		// EndRound is invariant to which lane reported first.
+		l.tuneObserve(id, s0, w.sc.stats, w.sc, err)
 		if err != nil {
 			w.failed = append(w.failed, shardFail{idx: idx, err: err})
 		}

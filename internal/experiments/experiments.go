@@ -21,6 +21,12 @@ import (
 	"mrlegal/internal/verify"
 )
 
+// BenchSchemaVersion stamps every BENCH_*.json document (the
+// schema_version field). Bump it when a field changes meaning, moves or
+// disappears, so downstream consumers can detect incompatible artifacts
+// instead of silently misreading them.
+const BenchSchemaVersion = 1
+
 // LegalizeResult captures the three Table-1 metrics for one run.
 type LegalizeResult struct {
 	AvgDisp   float64       // average cell displacement, in site widths

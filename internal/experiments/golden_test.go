@@ -13,6 +13,7 @@ import (
 
 	"mrlegal/internal/bengen"
 	"mrlegal/internal/core"
+	"mrlegal/internal/tune"
 )
 
 // The golden determinism suite pins one placement checksum per Table-1
@@ -83,6 +84,14 @@ func goldenConfigs() []struct {
 			cfg.ExhaustiveSearch = exhaustive
 			add(fmt.Sprintf("s%d/%s", shards, mode(exhaustive)), cfg)
 		}
+	}
+	// Tune=off byte-identity: the search-guidance layer wired but
+	// explicitly off must reproduce the untuned placements exactly
+	// (docs/PERFORMANCE.md §8).
+	{
+		cfg := core.DefaultConfig()
+		cfg.Tune = tune.Off
+		add("w1/tune-off", cfg)
 	}
 	return out
 }

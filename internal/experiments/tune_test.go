@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"mrlegal/internal/bengen"
+	"mrlegal/internal/core"
+	"mrlegal/internal/tune"
+)
+
+// TestTuneReplayMatchesOnline pins the replay determinism contract end to
+// end: an online-tuned run's recorded policy log, fed back through replay
+// mode under the same configuration, must reproduce the online placement
+// checksum bit for bit — across both drivers and both concurrency levels
+// (workers 1 and 4, shards 1 and 4). The re-recorded log must also equal
+// the original, so a replay-of-a-replay is a fixed point.
+func TestTuneReplayMatchesOnline(t *testing.T) {
+	specs := bengen.Table1Specs(goldenScale)[:3]
+	drivers := []struct {
+		tag             string
+		workers, shards int
+	}{
+		{"w1", 1, 0},
+		{"w4", 4, 0},
+		{"s1", 0, 1},
+		{"s4", 0, 4},
+	}
+	for _, spec := range specs {
+		p := Prepare(spec, 0)
+		for _, dr := range drivers {
+			base := core.DefaultConfig()
+			base.Seed = 1
+			base.Workers = dr.workers
+			base.Shards = dr.shards
+
+			online := base
+			online.Tune = tune.Online
+			d1 := p.Bench.D.Clone()
+			l1, err := core.NewLegalizer(d1, online)
+			if err != nil {
+				t.Fatalf("%s %s online: %v", spec.Name, dr.tag, err)
+			}
+			if err := l1.Legalize(); err != nil {
+				t.Fatalf("%s %s online: %v", spec.Name, dr.tag, err)
+			}
+			sumOnline := d1.PlacementChecksum()
+			lg := l1.RecordedTuneLog()
+			if len(lg.Decisions) == 0 {
+				t.Fatalf("%s %s: online run recorded no decisions", spec.Name, dr.tag)
+			}
+
+			replay := base
+			replay.Tune = tune.Replay
+			replay.TuneLog = lg
+			d2 := p.Bench.D.Clone()
+			l2, err := core.NewLegalizer(d2, replay)
+			if err != nil {
+				t.Fatalf("%s %s replay: %v", spec.Name, dr.tag, err)
+			}
+			if err := l2.Legalize(); err != nil {
+				t.Fatalf("%s %s replay: %v", spec.Name, dr.tag, err)
+			}
+			if sumReplay := d2.PlacementChecksum(); sumReplay != sumOnline {
+				t.Errorf("%s %s: replay checksum %016x != online checksum %016x",
+					spec.Name, dr.tag, sumReplay, sumOnline)
+			}
+			rerec := l2.RecordedTuneLog()
+			if len(rerec.Decisions) != len(lg.Decisions) {
+				t.Errorf("%s %s: replay re-recorded %d decisions, online recorded %d",
+					spec.Name, dr.tag, len(rerec.Decisions), len(lg.Decisions))
+			} else {
+				for i := range lg.Decisions {
+					if rerec.Decisions[i] != lg.Decisions[i] {
+						t.Errorf("%s %s: decision %d diverged: replay %+v, online %+v",
+							spec.Name, dr.tag, i, rerec.Decisions[i], lg.Decisions[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTuneOffMatchesUntuned pins the off-mode byte-identity contract on
+// top of the golden suite: an explicit Tune=off run is byte-identical to
+// a default (untuned) run on every benchmark.
+func TestTuneOffMatchesUntuned(t *testing.T) {
+	for _, spec := range bengen.Table1Specs(goldenScale)[:3] {
+		p := Prepare(spec, 0)
+
+		d1 := p.Bench.D.Clone()
+		cfg := core.DefaultConfig()
+		cfg.Seed = 1
+		l1, err := core.NewLegalizer(d1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l1.Legalize(); err != nil {
+			t.Fatal(err)
+		}
+
+		d2 := p.Bench.D.Clone()
+		off := cfg
+		off.Tune = tune.Off
+		l2, err := core.NewLegalizer(d2, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Legalize(); err != nil {
+			t.Fatal(err)
+		}
+		if s1, s2 := d1.PlacementChecksum(), d2.PlacementChecksum(); s1 != s2 {
+			t.Errorf("%s: Tune=off checksum %016x != untuned checksum %016x", spec.Name, s2, s1)
+		}
+		if s := l2.Stats(); s.TuneDecisions != 0 || s.TuneWindowsPromoted != 0 || s.TuneWinCutSkips != 0 {
+			t.Errorf("%s: Tune=off left guidance counters non-zero: %+v", spec.Name, s)
+		}
+	}
+}

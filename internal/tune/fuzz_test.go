@@ -1,0 +1,40 @@
+package tune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPolicyLogRoundTrip feeds arbitrary bytes to the policy-log decoder:
+// it must never panic, and whenever it accepts an input the decoded log
+// must encode back to a form that decodes to the identical decision
+// sequence (the canonical-ordering rule makes the encoding unique).
+func FuzzPolicyLogRoundTrip(f *testing.F) {
+	f.Add([]byte("tune-policy v1\n"))
+	f.Add([]byte("tune-policy v1\nd 1 0 1 0\nd 1 1 1 0\nd 2 0 3 6\n"))
+	f.Add([]byte("tune-policy v1\nd 1 3 0 12\n\nd 4 2 2 0\n"))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("tune-policy v1\nd 1 0 1 0\nd 1 0 1 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lg, err := DecodeLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := lg.Encode(&buf); err != nil {
+			t.Fatalf("encode of accepted log failed: %v", err)
+		}
+		back, err := DecodeLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of encoded log failed: %v\n%s", err, buf.Bytes())
+		}
+		if len(back.Decisions) != len(lg.Decisions) {
+			t.Fatalf("round trip changed length: %d -> %d", len(lg.Decisions), len(back.Decisions))
+		}
+		for i := range back.Decisions {
+			if back.Decisions[i] != lg.Decisions[i] {
+				t.Fatalf("round trip changed decision %d: %+v -> %+v", i, lg.Decisions[i], back.Decisions[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package tune
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Log is a compact, textual policy log: one decision per line, in the
+// order they were applied. The format is stable and versioned so a log
+// recorded by one binary replays under a later one (or fails loudly):
+//
+//	tune-policy v1
+//	d <round> <family> <arm> <wincut>
+//	...
+//
+// Lines are ordered by (round, family), strictly increasing — the
+// canonical order BeginRound emits — and Decode enforces it, so a given
+// decision sequence has exactly one valid encoding (the round-trip
+// property FuzzPolicyLogRoundTrip pins).
+type Log struct {
+	Decisions []Decision
+}
+
+const logHeader = "tune-policy v1"
+
+// Encode writes the log in the textual v1 format.
+func (lg *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, logHeader); err != nil {
+		return err
+	}
+	for _, d := range lg.Decisions {
+		if _, err := fmt.Fprintf(bw, "d %d %d %d %d\n", d.Round, d.Family, d.Arm, d.WinCut); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeLog parses a textual v1 policy log, validating every field so a
+// corrupt or adversarial log is rejected instead of steering a run.
+func DecodeLog(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("tune: empty policy log")
+	}
+	if strings.TrimRight(sc.Text(), "\r") != logHeader {
+		return nil, fmt.Errorf("tune: bad policy log header %q (want %q)", sc.Text(), logHeader)
+	}
+	lg := &Log{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 5 || fields[0] != "d" {
+			return nil, fmt.Errorf("tune: policy log line %d: malformed decision %q", line, text)
+		}
+		var vals [4]int
+		for i, f := range fields[1:] {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("tune: policy log line %d: bad field %q: %v", line, f, err)
+			}
+			vals[i] = v
+		}
+		lg.Decisions = append(lg.Decisions, Decision{
+			Round: vals[0], Family: vals[1], Arm: vals[2], WinCut: vals[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := lg.validate(); err != nil {
+		return nil, err
+	}
+	return lg, nil
+}
+
+// validate checks every decision's ranges and the canonical strict
+// (round, family) ordering.
+func (lg *Log) validate() error {
+	prevRound, prevFam := 0, NumFamilies-1
+	for i, d := range lg.Decisions {
+		switch {
+		case d.Round < 1:
+			return fmt.Errorf("tune: policy log decision %d: round %d < 1", i, d.Round)
+		case d.Family < 0 || d.Family >= NumFamilies:
+			return fmt.Errorf("tune: policy log decision %d: family %d out of range [0,%d)", i, d.Family, NumFamilies)
+		case d.Arm < 0 || d.Arm >= NumArms:
+			return fmt.Errorf("tune: policy log decision %d: arm %d out of range [0,%d)", i, d.Arm, NumArms)
+		case d.WinCut < 0:
+			return fmt.Errorf("tune: policy log decision %d: negative window cutoff %d", i, d.WinCut)
+		}
+		if d.Round < prevRound || (d.Round == prevRound && d.Family <= prevFam) {
+			return fmt.Errorf("tune: policy log decision %d: (round %d, family %d) not after (round %d, family %d)",
+				i, d.Round, d.Family, prevRound, prevFam)
+		}
+		prevRound, prevFam = d.Round, d.Family
+	}
+	return nil
+}

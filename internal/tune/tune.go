@@ -1,0 +1,360 @@
+// Package tune implements the online search-guidance layer: a small,
+// stdlib-only controller that adapts three search knobs while a
+// legalization run executes, from statistics the engine already collects
+// per attempt (retry outcomes, insertion points evaluated, window-visit
+// hit depth).
+//
+//   - Per-cell-family retry radii: a UCB1 bandit over a discrete arm set
+//     of window-radius multipliers, one independent bandit per cell
+//     height family. Smaller windows enumerate quadratically fewer
+//     candidates; larger ones fail less. The bandit trades the two off
+//     per family from measured rewards.
+//   - Window-visit ordering: the best-first search opens the
+//     historically-winning window (carried forward by the extraction
+//     cache) first, tightening its incumbent before the lb-sorted sweep
+//     begins. Placements are unchanged — only visit order (see
+//     docs/PERFORMANCE.md §8 for the argument).
+//   - Early sweep cutoffs: once enough searches have reported the
+//     sorted-order depth at which their winner was found, the sweep stops
+//     after maxDepth plus a safety margin windows — deep windows whose
+//     y-cost alone nearly always dominates are never entered.
+//
+// Determinism contract: decisions are made only at round boundaries, from
+// accumulators that are commutative integer folds of per-attempt
+// observations (sums and maxes), so the decision sequence — and therefore
+// the placement — is a pure function of the input, the configuration and
+// the seed, never of worker timing. Every decision is appended to a
+// policy Log; replay mode re-applies a recorded log verbatim, reproducing
+// the online run bit for bit under the same configuration.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Mode selects the guidance behavior of a run.
+type Mode uint8
+
+const (
+	// Off disables the layer entirely: byte-identical to a build without
+	// it (golden-gated).
+	Off Mode = iota
+	// Online adapts the knobs during the run and records every decision.
+	Online
+	// Replay re-applies a recorded policy log instead of deciding online,
+	// reproducing the recording run's placements exactly.
+	Replay
+)
+
+// ParseMode parses "off", "online" or "replay".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "off", "":
+		return Off, nil
+	case "online":
+		return Online, nil
+	case "replay":
+		return Replay, nil
+	}
+	return Off, fmt.Errorf("tune: unknown mode %q (want off, online or replay)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Online:
+		return "online"
+	case Replay:
+		return "replay"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// NumFamilies is the number of cell-height families the controller
+// distinguishes: heights 1, 2, 3 and ≥4. Multi-row cells see very
+// different candidate sets (rail parity halves their rows, multi-row
+// side-consistency prunes combinations), so their best radii differ.
+const NumFamilies = 4
+
+// FamilyOf maps a cell height to its family index.
+func FamilyOf(h int) int {
+	if h < 1 {
+		h = 1
+	}
+	if h > NumFamilies {
+		h = NumFamilies
+	}
+	return h - 1
+}
+
+// ArmDen is the denominator of every arm's radius multiplier.
+const ArmDen = 4
+
+// Arm is one discrete choice of the radius bandit: the retry-window
+// half-extents are scaled by Num/ArmDen (floored, minimum 1).
+type Arm struct {
+	Num  int
+	Name string
+}
+
+// Scale applies the arm's multiplier to a radius.
+func (a Arm) Scale(r int) int {
+	v := r * a.Num / ArmDen
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// arms is the fixed arm set. BaseArm must reproduce today's static radii
+// exactly (multiplier 1), so an all-BaseArm policy is behavior-neutral.
+var arms = [...]Arm{
+	{Num: 3, Name: "x0.75"},
+	{Num: 4, Name: "x1"},
+	{Num: 6, Name: "x1.5"},
+	{Num: 8, Name: "x2"},
+}
+
+// NumArms is the size of the arm set.
+const NumArms = len(arms)
+
+// BaseArm indexes the multiplier-1 arm.
+const BaseArm = 1
+
+// ArmAt returns arm i (panics outside [0, NumArms)).
+func ArmAt(i int) Arm { return arms[i] }
+
+// Decision is one policy choice: for round Round, cells of family Family
+// use retry-radius arm Arm, and their best-first searches stop after
+// WinCut windows (0 = no cutoff).
+type Decision struct {
+	Round  int
+	Family int
+	Arm    int
+	WinCut int
+}
+
+// winCut learning parameters: a cutoff is issued only after minDepthObs
+// winner depths have been observed for the family, at the observed
+// maximum plus winCutMargin, and never below winCutFloor windows.
+const (
+	minDepthObs  = 48
+	winCutMargin = 2
+	winCutFloor  = 4
+)
+
+// evalPenalty weights the normalized evaluation cost against the success
+// rate in the bandit reward.
+const evalPenalty = 0.5
+
+// famStats is the per-family bandit and depth state.
+type famStats struct {
+	pulls  [NumArms]int64
+	reward [NumArms]float64
+
+	// Winner-depth statistics driving the sweep cutoff.
+	depthN   int64
+	depthMax int
+
+	// baseEvalsPA is the first observed evaluations-per-attempt for the
+	// family (measured under BaseArm in round 1); rewards normalize
+	// against it so the penalty is scale-free.
+	baseEvalsPA float64
+
+	// roundArm is the arm in effect for the current round; its pull is
+	// credited at EndRound only if the family saw attempts.
+	roundArm int
+
+	// Round accumulators, folded into the bandit at EndRound. Updated
+	// under the controller mutex by concurrent workers; every update is a
+	// commutative sum or max, so the folded value is worker-invariant.
+	accAttempts int64
+	accSuccess  int64
+	accEvals    int64
+	accDepthN   int64
+	accDepthMax int
+}
+
+// Controller owns the per-run guidance state. BeginRound/EndRound are
+// called by the round driver (single goroutine, at round boundaries);
+// Observe may be called concurrently by planning workers.
+type Controller struct {
+	mode Mode
+
+	mu   sync.Mutex
+	fams [NumFamilies]famStats
+
+	rec      Log        // every decision applied, in order
+	replay   []Decision // remaining recorded decisions (Replay mode)
+	lastArm  [NumFamilies]int
+	lastCut  [NumFamilies]int
+	armPulls int64 // total arm pulls credited (observability)
+}
+
+// NewController builds a controller for the given mode. replayLog is
+// required for Replay and ignored otherwise.
+func NewController(mode Mode, replayLog *Log) (*Controller, error) {
+	c := &Controller{mode: mode}
+	for f := range c.lastArm {
+		c.lastArm[f] = BaseArm
+	}
+	if mode == Replay {
+		if replayLog == nil {
+			return nil, fmt.Errorf("tune: replay mode needs a recorded policy log")
+		}
+		if err := replayLog.validate(); err != nil {
+			return nil, err
+		}
+		c.replay = replayLog.Decisions
+	}
+	return c, nil
+}
+
+// Mode returns the controller's mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// BeginRound decides the policy of round k (k ≥ 1) and returns one
+// decision per family. Online mode runs the bandit; replay mode pops the
+// recorded decisions (falling back to each family's last decision when
+// the log is exhausted, e.g. a replay against a longer-running input).
+// Every applied decision is appended to the recorded log.
+func (c *Controller) BeginRound(k int) [NumFamilies]Decision {
+	var out [NumFamilies]Decision
+	for f := 0; f < NumFamilies; f++ {
+		d := Decision{Round: k, Family: f, Arm: c.lastArm[f], WinCut: c.lastCut[f]}
+		switch c.mode {
+		case Online:
+			if k == 1 {
+				d.Arm = BaseArm // round 1 establishes the per-family baseline
+			} else {
+				d.Arm = c.pickArm(f)
+			}
+			d.WinCut = c.winCutFor(f)
+		case Replay:
+			for len(c.replay) > 0 && c.replay[0].Round < k {
+				c.replay = c.replay[1:]
+			}
+			if len(c.replay) > 0 && c.replay[0].Round == k && c.replay[0].Family == f {
+				d.Arm = c.replay[0].Arm
+				d.WinCut = c.replay[0].WinCut
+				c.replay = c.replay[1:]
+			}
+		}
+		c.lastArm[f], c.lastCut[f] = d.Arm, d.WinCut
+		c.fams[f].roundArm = d.Arm
+		out[f] = d
+		c.rec.Decisions = append(c.rec.Decisions, d)
+	}
+	return out
+}
+
+// pickArm runs UCB1 over the family's arms: unpulled arms first (in
+// index order), then argmax of mean reward + exploration bonus, ties to
+// the lower index — a strict deterministic order.
+func (c *Controller) pickArm(f int) int {
+	fs := &c.fams[f]
+	var total int64
+	for _, p := range fs.pulls {
+		total += p
+	}
+	if total == 0 {
+		return BaseArm
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for a := 0; a < NumArms; a++ {
+		if fs.pulls[a] == 0 {
+			return a
+		}
+		score := fs.reward[a]/float64(fs.pulls[a]) +
+			math.Sqrt(2*math.Log(float64(total))/float64(fs.pulls[a]))
+		if score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best
+}
+
+// winCutFor returns the family's sweep cutoff: 0 until enough winner
+// depths are on record, then the observed maximum plus a safety margin.
+func (c *Controller) winCutFor(f int) int {
+	fs := &c.fams[f]
+	if fs.depthN < minDepthObs {
+		return 0
+	}
+	cut := fs.depthMax + winCutMargin
+	if cut < winCutFloor {
+		cut = winCutFloor
+	}
+	return cut
+}
+
+// Observe records one MLL attempt of a cell in family f: whether it
+// placed, how many insertion points it evaluated, and the sorted-order
+// window depth its winner was found at (−1 when it found none or the
+// search was exhaustive). Safe for concurrent use; every fold is a
+// commutative sum or max, so round-end state is independent of the order
+// workers report in.
+func (c *Controller) Observe(f int, success bool, evals int64, depth int) {
+	if f < 0 || f >= NumFamilies {
+		return
+	}
+	c.mu.Lock()
+	fs := &c.fams[f]
+	fs.accAttempts++
+	if success {
+		fs.accSuccess++
+	}
+	fs.accEvals += evals
+	if depth >= 0 {
+		fs.accDepthN++
+		if d := depth + 1; d > fs.accDepthMax {
+			// Store 1-based depth: a winner in the first window visited is
+			// depth 1, so the cutoff counts windows entered.
+			fs.accDepthMax = d
+		}
+	}
+	c.mu.Unlock()
+}
+
+// EndRound folds the round's accumulators into the bandit and depth
+// state. Called by the round driver after all workers have joined.
+func (c *Controller) EndRound() {
+	for f := 0; f < NumFamilies; f++ {
+		fs := &c.fams[f]
+		if fs.accAttempts > 0 && c.mode == Online {
+			evalsPA := float64(fs.accEvals) / float64(fs.accAttempts)
+			if fs.baseEvalsPA == 0 && evalsPA > 0 {
+				fs.baseEvalsPA = evalsPA
+			}
+			penalty := 0.0
+			if fs.baseEvalsPA > 0 {
+				penalty = evalsPA / fs.baseEvalsPA
+				if penalty > 2 {
+					penalty = 2
+				}
+			}
+			r := float64(fs.accSuccess)/float64(fs.accAttempts) - evalPenalty*penalty
+			fs.pulls[fs.roundArm]++
+			fs.reward[fs.roundArm] += r
+			c.armPulls++
+		}
+		fs.depthN += fs.accDepthN
+		if fs.accDepthMax > fs.depthMax {
+			fs.depthMax = fs.accDepthMax
+		}
+		fs.accAttempts, fs.accSuccess, fs.accEvals = 0, 0, 0
+		fs.accDepthN, fs.accDepthMax = 0, 0
+	}
+}
+
+// ArmPulls returns the number of credited bandit pulls so far
+// (observability only).
+func (c *Controller) ArmPulls() int64 { return c.armPulls }
+
+// RecordedLog returns the policy log of every decision applied so far.
+// The returned log aliases the controller's storage; encode or copy it
+// before reusing the controller.
+func (c *Controller) RecordedLog() *Log { return &c.rec }

@@ -1,0 +1,260 @@
+package tune
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+		err  bool
+	}{
+		{"off", Off, false},
+		{"", Off, false},
+		{"online", Online, false},
+		{"replay", Replay, false},
+		{"bogus", Off, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseMode(%q): err = %v, want err=%v", c.in, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, m := range []Mode{Off, Online, Replay} {
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%v.String()) = %v, %v", m, back, err)
+		}
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 3, 5: 3, 12: 3}
+	for h, want := range cases {
+		if got := FamilyOf(h); got != want {
+			t.Errorf("FamilyOf(%d) = %d, want %d", h, got, want)
+		}
+	}
+}
+
+func TestBaseArmIsNeutral(t *testing.T) {
+	a := ArmAt(BaseArm)
+	for _, r := range []int{1, 5, 30, 127} {
+		if got := a.Scale(r); got != r {
+			t.Errorf("BaseArm.Scale(%d) = %d, want identity", r, got)
+		}
+	}
+	if ArmAt(0).Scale(1) < 1 {
+		t.Error("arm scaling must never drop a radius below 1")
+	}
+}
+
+func TestRoundOneUsesBaseArm(t *testing.T) {
+	c, err := NewController(Online, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := c.BeginRound(1)
+	for f, d := range decs {
+		if d.Arm != BaseArm {
+			t.Errorf("family %d round 1 arm = %d, want BaseArm %d", f, d.Arm, BaseArm)
+		}
+		if d.WinCut != 0 {
+			t.Errorf("family %d round 1 wincut = %d, want 0 (no depth data yet)", f, d.WinCut)
+		}
+	}
+}
+
+func TestWinCutNeedsObservations(t *testing.T) {
+	c, err := NewController(Online, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.BeginRound(1)
+	for i := 0; i < minDepthObs-1; i++ {
+		c.Observe(0, true, 10, 3)
+	}
+	c.EndRound()
+	if d := c.BeginRound(2); d[0].WinCut != 0 {
+		t.Fatalf("wincut issued after %d observations, want threshold %d", minDepthObs-1, minDepthObs)
+	}
+	c.Observe(0, true, 10, 6)
+	c.EndRound()
+	d := c.BeginRound(3)
+	want := 7 + winCutMargin // depth 6 is stored 1-based as 7
+	if want < winCutFloor {
+		want = winCutFloor
+	}
+	if d[0].WinCut != want {
+		t.Fatalf("wincut = %d, want maxDepth+margin = %d", d[0].WinCut, want)
+	}
+	if d[1].WinCut != 0 {
+		t.Fatal("family 1 has no depth data; wincut must stay 0")
+	}
+}
+
+// TestObserveOrderInvariant pins the determinism argument: the state the
+// bandit folds at EndRound must not depend on the order concurrent
+// workers report attempts in.
+func TestObserveOrderInvariant(t *testing.T) {
+	type ob struct {
+		f       int
+		success bool
+		evals   int64
+		depth   int
+	}
+	obs := []ob{
+		{0, true, 12, 2}, {0, false, 40, -1}, {1, true, 7, 0},
+		{0, true, 9, 5}, {3, false, 88, -1}, {1, true, 11, 3},
+		{2, true, 5, 1}, {0, false, 60, -1}, {3, true, 14, 8},
+	}
+	run := func(order []int) [NumFamilies]Decision {
+		c, err := NewController(Online, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.BeginRound(1)
+		var wg sync.WaitGroup
+		for _, i := range order {
+			o := obs[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.Observe(o.f, o.success, o.evals, o.depth)
+			}()
+		}
+		wg.Wait()
+		c.EndRound()
+		return c.BeginRound(2)
+	}
+	fwd := make([]int, len(obs))
+	rev := make([]int, len(obs))
+	for i := range obs {
+		fwd[i] = i
+		rev[i] = len(obs) - 1 - i
+	}
+	a, b := run(fwd), run(rev)
+	if a != b {
+		t.Fatalf("round-2 decisions depend on observation order:\n fwd %v\n rev %v", a, b)
+	}
+}
+
+func TestUCBExploresEveryArm(t *testing.T) {
+	c, err := NewController(Online, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for k := 1; k <= NumArms+2; k++ {
+		d := c.BeginRound(k)
+		seen[d[0].Arm] = true
+		for i := 0; i < 4; i++ {
+			c.Observe(0, true, 10, 1)
+		}
+		c.EndRound()
+	}
+	if len(seen) != NumArms {
+		t.Fatalf("after %d rounds with data, only arms %v explored (want all %d)", NumArms+2, seen, NumArms)
+	}
+}
+
+func TestReplayReproducesDecisions(t *testing.T) {
+	on, err := NewController(Online, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][NumFamilies]Decision
+	for k := 1; k <= 6; k++ {
+		want = append(want, on.BeginRound(k))
+		for i := 0; i < 30; i++ {
+			on.Observe(k%NumFamilies, i%3 != 0, int64(10+k), i%5)
+		}
+		on.EndRound()
+	}
+	var buf bytes.Buffer
+	if err := on.RecordedLog().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := DecodeLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewController(Replay, lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 6; k++ {
+		got := rp.BeginRound(k)
+		rp.EndRound()
+		if got != want[k-1] {
+			t.Fatalf("round %d: replay %v != online %v", k, got, want[k-1])
+		}
+	}
+	// Beyond the recorded log, replay holds each family's last decision.
+	beyond := rp.BeginRound(7)
+	for f := range beyond {
+		last := want[5][f]
+		if beyond[f].Arm != last.Arm || beyond[f].WinCut != last.WinCut {
+			t.Fatalf("round 7 family %d: %+v does not hold last recorded %+v", f, beyond[f], last)
+		}
+	}
+}
+
+func TestReplayNeedsLog(t *testing.T) {
+	if _, err := NewController(Replay, nil); err == nil {
+		t.Fatal("NewController(Replay, nil) must fail")
+	}
+}
+
+func TestDecodeRejectsCorruptLogs(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-header\nd 1 0 1 0\n",
+		"tune-policy v1\nd 1 9 1 0\n",            // family out of range
+		"tune-policy v1\nd 1 0 99 0\n",           // arm out of range
+		"tune-policy v1\nd 0 0 1 0\n",            // round < 1
+		"tune-policy v1\nd 1 0 1 -3\n",           // negative cutoff
+		"tune-policy v1\nd 2 0 1 0\nd 1 0 1 0\n", // order violation
+		"tune-policy v1\nd 1 0 1 0\nd 1 0 1 0\n", // duplicate (round, family)
+		"tune-policy v1\nd 1 0 1\n",              // short line
+		"tune-policy v1\nx 1 0 1 0\n",            // bad tag
+	}
+	for _, s := range bad {
+		if _, err := DecodeLog(strings.NewReader(s)); err == nil {
+			t.Errorf("DecodeLog accepted corrupt input %q", s)
+		}
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	lg := &Log{Decisions: []Decision{
+		{Round: 1, Family: 0, Arm: 1, WinCut: 0},
+		{Round: 1, Family: 1, Arm: 1, WinCut: 0},
+		{Round: 2, Family: 0, Arm: 0, WinCut: 6},
+		{Round: 5, Family: 3, Arm: 3, WinCut: 12},
+	}}
+	var buf bytes.Buffer
+	if err := lg.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Decisions) != len(lg.Decisions) {
+		t.Fatalf("round trip: %d decisions, want %d", len(back.Decisions), len(lg.Decisions))
+	}
+	for i := range back.Decisions {
+		if back.Decisions[i] != lg.Decisions[i] {
+			t.Fatalf("decision %d: %+v != %+v", i, back.Decisions[i], lg.Decisions[i])
+		}
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"mrlegal/internal/obs"
 	"mrlegal/internal/render"
 	"mrlegal/internal/service"
+	"mrlegal/internal/tune"
 	"mrlegal/internal/verify"
 )
 
@@ -113,6 +114,30 @@ type (
 	// ILP baseline in internal/ilplegal implements it).
 	LocalSolver = core.LocalSolver
 )
+
+// Adaptive search-guidance types (see docs/PERFORMANCE.md §8). Config.Tune
+// selects the mode; TuneOff keeps placements byte-identical to an untuned
+// run, TuneOnline adapts retry radii, window visit order and sweep cutoffs
+// during the run, and TuneReplay re-executes a recorded policy log
+// deterministically.
+type (
+	// TuneMode selects the search-guidance mode for Config.Tune.
+	TuneMode = tune.Mode
+	// TuneLog is a recorded search-guidance policy log; feed one to
+	// Config.TuneLog with TuneReplay, or obtain one from
+	// Legalizer.RecordedTuneLog after a TuneOnline run.
+	TuneLog = tune.Log
+)
+
+// Search-guidance modes.
+const (
+	TuneOff    = tune.Off
+	TuneOnline = tune.Online
+	TuneReplay = tune.Replay
+)
+
+// ParseTuneMode parses "off" (or ""), "online" or "replay".
+func ParseTuneMode(s string) (TuneMode, error) { return tune.ParseMode(s) }
 
 // Robustness types (see docs/ROBUSTNESS.md).
 type (
