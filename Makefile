@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-submit fuzz-tune bench-json bench-smoke bench-shard-smoke bench-tune-smoke serve-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-constraints fuzz-submit fuzz-tune bench-json bench-smoke bench-shard-smoke bench-tune-smoke bench-constraint-smoke serve-smoke clean
 
 check: vet build race cover bench-tune-smoke
 
@@ -41,6 +41,25 @@ fuzz-search:
 fuzz-cache:
 	$(GO) test ./internal/core -run FuzzCachedExtractionMatchesFresh \
 		-fuzz FuzzCachedExtractionMatchesFresh -fuzztime 30s
+
+# Short fuzz session over the constraint-plugin admissibility property:
+# every plugin's lower-bound term must stay below the realized horizontal
+# cost of any candidate its own filters admit, and the best-first search
+# under an armed set must reproduce the exhaustive sweep bit for bit
+# (docs/CONSTRAINTS.md).
+fuzz-constraints:
+	$(GO) test ./internal/core -run FuzzConstraintLowerBound \
+		-fuzz FuzzConstraintLowerBound -fuzztime 30s
+
+# Constraint-plugin differential smoke (CI gate): each plugin alone and
+# all three composed must produce byte-identical placements across
+# workers x shards x search modes under the race detector, pass the
+# plugins' verify.Check oracles with zero violations, and never leak a
+# cached verdict across rule configurations (docs/CONSTRAINTS.md).
+bench-constraint-smoke:
+	$(GO) test -race -short ./internal/core \
+		-run 'TestConstraintPluginsMatchAcrossModes|TestConstraintFiltersActuallyFire|TestConstraintLowerBoundProperty|TestCacheConstraintEpochIsolation'
+	$(GO) test -race ./internal/experiments -run TestGoldenConstraintPlacements
 
 # Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
 # Table-1 flow once per worker count), BENCH_prune.json (best-first search

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mrlegal/internal/bookshelf"
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/core"
 	"mrlegal/internal/design"
 	"mrlegal/internal/ilplegal"
@@ -56,6 +57,7 @@ func main() {
 		exhaust = flag.Bool("exhaustive-search", false, "evaluate every insertion point instead of the pruned best-first search (same result, more work)")
 		noCache = flag.Bool("no-extract-cache", false, "disable the extraction cache in front of the MLL region extraction (same result, more work)")
 		useILP  = flag.Bool("ilp", false, "use the ILP local solver baseline instead of MLL")
+		consStr = flag.String("constraints", "", "constraint plugins, ';'-separated specs: fence:x0=..,y0=..,x1=..,y1=..[,minh=N] | spacing:gap=G[,minw=M] | tpl:sep=S (docs/CONSTRAINTS.md)")
 		seed    = flag.Int64("seed", 1, "retry-offset random seed")
 		quiet   = flag.Bool("q", false, "suppress the metrics report")
 		svg     = flag.String("svg", "", "also write an SVG rendering (with displacement vectors) to this file")
@@ -139,6 +141,11 @@ func main() {
 	if *useILP {
 		cfg.Solver = &ilplegal.Solver{}
 	}
+	cons, err := constraint.Parse(*consStr)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Constraints = cons
 	tuneMode, err := tune.ParseMode(*tuneFlag)
 	if err != nil {
 		fatal(err)
@@ -253,7 +260,8 @@ func main() {
 		}
 	}
 
-	if vs := verify.Check(d, verify.Options{RequirePlaced: allPlaced, PowerAlignment: cfg.PowerAlign}, 5); len(vs) > 0 {
+	if vs := verify.Check(d, verify.Options{RequirePlaced: allPlaced, PowerAlignment: cfg.PowerAlign,
+		Extra: cons.Checkers()}, 5); len(vs) > 0 {
 		for _, v := range vs {
 			fmt.Fprintf(os.Stderr, "mrlegal: VIOLATION %s\n", v)
 		}
@@ -276,6 +284,9 @@ func main() {
 		if st.ExtractCacheHits > 0 || st.ExtractCacheMisses > 0 || st.ExtractCacheInvalidations > 0 {
 			fmt.Fprintf(os.Stderr, "  extract cache    : %d hits, %d misses, %d invalidated, %d seeded bounds\n",
 				st.ExtractCacheHits, st.ExtractCacheMisses, st.ExtractCacheInvalidations, st.SeedBoundsApplied)
+		}
+		if st.ConstraintFiltered > 0 {
+			fmt.Fprintf(os.Stderr, "  constraints      : %d candidate positions filtered\n", st.ConstraintFiltered)
 		}
 		if st.TuneDecisions > 0 {
 			fmt.Fprintf(os.Stderr, "  search guidance  : %d decisions, %d windows promoted, %d cutoff window skips\n",

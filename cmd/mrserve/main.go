@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/core"
 	"mrlegal/internal/jobq"
 	"mrlegal/internal/obs"
@@ -47,6 +48,7 @@ func main() {
 		ry      = flag.Int("ry", 5, "local region half-height Ry (rows)")
 		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
 		seed    = flag.Int64("seed", 1, "retry-offset random seed")
+		consStr = flag.String("constraints", "", "base constraint plugins for every job, ';'-separated specs (see mrlegal -constraints; jobs may override via config.constraints)")
 
 		traceFlag = flag.String("trace-out", "", "write per-cell JSONL placement traces to this file")
 	)
@@ -70,6 +72,11 @@ func main() {
 	base.PowerAlign = !*noalign
 	base.Seed = *seed
 	base.Workers = 1 // the pool provides cross-job parallelism
+	cons, err := constraint.Parse(*consStr)
+	if err != nil {
+		fatal(err)
+	}
+	base.Constraints = cons
 
 	opt := obs.Options{}
 	var traceFile *os.File

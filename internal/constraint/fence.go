@@ -1,0 +1,115 @@
+package constraint
+
+import (
+	"fmt"
+	"math"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/geom"
+	"mrlegal/internal/verify"
+)
+
+// Fence confines a family of cells to a rectangular region — the
+// fence/power-domain rule: every member cell (height >= MinH rows)
+// must lie entirely inside Rect. Non-member cells are unrestricted
+// (the one-sided "soft region" semantics; an exclusive region is the
+// composition of a fence with blockages outside it).
+//
+// Engine participation: member cells admit only rows fully inside the
+// rect (AllowRow) and have their x-interval clamped to [Rect.X,
+// Rect.X2-w] (NarrowX). Because every surviving candidate x lies in
+// that clamp, the distance from tx to the clamp is an admissible
+// horizontal bound (Bound).
+type Fence struct {
+	// Rect is the half-open region, x in sites, y in rows.
+	Rect geom.Rect
+	// MinH is the membership threshold: cells MinH rows or taller are
+	// confined. Must be >= 1.
+	MinH int
+}
+
+// NewFence validates and builds a fence plugin.
+func NewFence(rect geom.Rect, minH int) (*Fence, error) {
+	if rect.W < 1 || rect.H < 1 {
+		return nil, fmt.Errorf("constraint: fence region %v is empty", rect)
+	}
+	if minH < 1 {
+		return nil, fmt.Errorf("constraint: fence minh=%d must be >= 1", minH)
+	}
+	return &Fence{Rect: rect, MinH: minH}, nil
+}
+
+// Name implements Constraint.
+func (f *Fence) Name() string { return "fence" }
+
+// Spec implements Constraint.
+func (f *Fence) Spec() string {
+	return fmt.Sprintf("fence:%s,minh=%d", rectString(f.Rect), f.MinH)
+}
+
+// NumClasses implements Constraint: 0 = outside the family, 1 = member.
+func (f *Fence) NumClasses() int { return 2 }
+
+// Class implements Constraint.
+func (f *Fence) Class(_ *design.Master, _, h int) int {
+	if h >= f.MinH {
+		return 1
+	}
+	return 0
+}
+
+// Gap implements Constraint: fences impose no adjacency gap.
+func (f *Fence) Gap(_, _ int) int { return 0 }
+
+// AllowRow implements Constraint: a member's rows must fit inside the
+// rect vertically.
+func (f *Fence) AllowRow(cls, h, y int) bool {
+	return cls == 0 || (y >= f.Rect.Y && y+h <= f.Rect.Y2())
+}
+
+// NarrowX implements Constraint: a member's left edge is clamped so the
+// cell fits horizontally.
+func (f *Fence) NarrowX(cls, w int) (lo, hi int, narrowed bool) {
+	if cls == 0 {
+		return 0, 0, false
+	}
+	return f.Rect.X, f.Rect.X2() - w, true
+}
+
+// Bound implements Constraint: the distance from tx to the member
+// clamp. Admissible because NarrowX restricts every surviving
+// candidate's x to [lo, hi], so its |tx-x| cost term is at least this
+// distance. When the clamp is empty no candidate survives at all and 0
+// is trivially sound.
+func (f *Fence) Bound(cls, w int, tx float64) float64 {
+	if cls == 0 {
+		return 0
+	}
+	lo, hi := float64(f.Rect.X), float64(f.Rect.X2()-w)
+	if hi < lo {
+		return 0
+	}
+	return math.Max(0, math.Max(lo-tx, tx-hi))
+}
+
+// Check implements Constraint: every placed movable member cell must
+// lie entirely inside the rect.
+func (f *Fence) Check(d *design.Design, add func(verify.Violation) bool) {
+	for i := range d.Cells {
+		c := &d.Cells[i]
+		if c.Fixed || !c.Placed || c.H < f.MinH {
+			continue
+		}
+		if c.X < f.Rect.X || c.X+c.W > f.Rect.X2() || c.Y < f.Rect.Y || c.Y+c.H > f.Rect.Y2() {
+			v := verify.Violation{
+				Kind:  "fence-region",
+				Cells: []design.CellID{c.ID},
+				Msg: fmt.Sprintf("member cell %d (%s, h=%d) at [%d,%d)x[%d,%d) escapes fence %v",
+					c.ID, c.Name, c.H, c.X, c.X+c.W, c.Y, c.Y+c.H, f.Rect),
+			}
+			if add(v) {
+				return
+			}
+		}
+	}
+}

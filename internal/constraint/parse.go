@@ -1,0 +1,132 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mrlegal/internal/geom"
+)
+
+// Parse builds a Set from its textual form: semicolon-separated plugin
+// specs, each "name" or "name:key=val,key=val".
+//
+//	fence:x0=10,y0=0,x1=40,y1=8[,minh=2]   confine cells >= minh rows tall
+//	spacing:gap=2[,minw=1]                 min gap between wide x-neighbors
+//	tpl[:sep=1]                            triple-patterning color gap
+//
+// The empty (or all-whitespace) string yields (nil, nil): no
+// constraints. Specs round-trip: Parse(s).Signature() is the canonical
+// form of s, and Parse(sig) reproduces the set.
+func Parse(s string) (*Set, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cons []Constraint
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, _ := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		kv, err := parseParams(name, rest)
+		if err != nil {
+			return nil, err
+		}
+		var c Constraint
+		switch name {
+		case "fence":
+			x0, err0 := kv.need("x0")
+			y0, err1 := kv.need("y0")
+			x1, err2 := kv.need("x1")
+			y1, err3 := kv.need("y1")
+			for _, e := range []error{err0, err1, err2, err3} {
+				if e != nil {
+					return nil, e
+				}
+			}
+			c, err = NewFence(geom.Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}, kv.opt("minh", 2))
+		case "spacing":
+			gap, gerr := kv.need("gap")
+			if gerr != nil {
+				return nil, gerr
+			}
+			c, err = NewSpacing(kv.opt("minw", 1), gap)
+		case "tpl":
+			c, err = NewTPL(kv.opt("sep", 1))
+		default:
+			return nil, fmt.Errorf("constraint: unknown plugin %q (want fence, spacing or tpl)", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := kv.leftover(); err != nil {
+			return nil, err
+		}
+		cons = append(cons, c)
+	}
+	if len(cons) == 0 {
+		return nil, nil
+	}
+	return NewSet(cons...)
+}
+
+// params tracks key=value pairs and which ones a plugin consumed, so
+// typos surface as errors instead of silently-ignored settings.
+type params struct {
+	name string
+	vals map[string]int
+	used map[string]bool
+}
+
+func parseParams(name, rest string) (*params, error) {
+	p := &params{name: name, vals: map[string]int{}, used: map[string]bool{}}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("constraint: %s: malformed parameter %q (want key=int)", name, kv)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("constraint: %s: parameter %s=%q is not an integer", name, k, strings.TrimSpace(v))
+		}
+		if _, dup := p.vals[k]; dup {
+			return nil, fmt.Errorf("constraint: %s: duplicate parameter %q", name, k)
+		}
+		p.vals[k] = n
+	}
+	return p, nil
+}
+
+func (p *params) need(k string) (int, error) {
+	v, ok := p.vals[k]
+	if !ok {
+		return 0, fmt.Errorf("constraint: %s: required parameter %q is missing", p.name, k)
+	}
+	p.used[k] = true
+	return v, nil
+}
+
+func (p *params) opt(k string, def int) int {
+	p.used[k] = true
+	if v, ok := p.vals[k]; ok {
+		return v
+	}
+	return def
+}
+
+func (p *params) leftover() error {
+	for k := range p.vals {
+		if !p.used[k] {
+			return fmt.Errorf("constraint: %s: unknown parameter %q", p.name, k)
+		}
+	}
+	return nil
+}

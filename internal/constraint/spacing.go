@@ -1,0 +1,74 @@
+package constraint
+
+import (
+	"fmt"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/verify"
+)
+
+// Spacing is the minimum-edge-spacing rule: two "wide" cells (width >=
+// MinW sites) that are x-adjacent on a shared row must keep at least
+// Gap empty sites between their facing edges. Narrow cells abut freely,
+// and a narrow cell between two wide ones resets the requirement — the
+// rule binds facing edges of immediately adjacent pairs, matching the
+// engine's pairwise enforcement in the squeeze/evaluate/realize chain.
+type Spacing struct {
+	// MinW is the membership threshold in sites; 1 means every cell.
+	MinW int
+	// GapSites is the required gap between adjacent members; >= 1.
+	GapSites int
+}
+
+// NewSpacing validates and builds an edge-spacing plugin.
+func NewSpacing(minW, gap int) (*Spacing, error) {
+	if minW < 1 {
+		return nil, fmt.Errorf("constraint: spacing minw=%d must be >= 1", minW)
+	}
+	if gap < 1 {
+		return nil, fmt.Errorf("constraint: spacing gap=%d must be >= 1", gap)
+	}
+	return &Spacing{MinW: minW, GapSites: gap}, nil
+}
+
+// Name implements Constraint.
+func (s *Spacing) Name() string { return "spacing" }
+
+// Spec implements Constraint.
+func (s *Spacing) Spec() string {
+	return fmt.Sprintf("spacing:minw=%d,gap=%d", s.MinW, s.GapSites)
+}
+
+// NumClasses implements Constraint: 0 = narrow, 1 = wide.
+func (s *Spacing) NumClasses() int { return 2 }
+
+// Class implements Constraint.
+func (s *Spacing) Class(_ *design.Master, w, _ int) int {
+	if w >= s.MinW {
+		return 1
+	}
+	return 0
+}
+
+// Gap implements Constraint: wide-wide pairs need GapSites.
+func (s *Spacing) Gap(l, r int) int {
+	if l == 1 && r == 1 {
+		return s.GapSites
+	}
+	return 0
+}
+
+// AllowRow implements Constraint: spacing never restricts rows.
+func (s *Spacing) AllowRow(_, _, _ int) bool { return true }
+
+// NarrowX implements Constraint: spacing never clamps x.
+func (s *Spacing) NarrowX(_, _ int) (int, int, bool) { return 0, 0, false }
+
+// Bound implements Constraint: 0 (always admissible) — the gap cost is
+// already captured by the engine's interval geometry.
+func (s *Spacing) Bound(_, _ int, _ float64) float64 { return 0 }
+
+// Check implements Constraint via the shared adjacency sweep.
+func (s *Spacing) Check(d *design.Design, add func(verify.Violation) bool) {
+	checkAdjacency(d, s, add)
+}

@@ -1,0 +1,73 @@
+package constraint
+
+import (
+	"fmt"
+
+	"mrlegal/internal/design"
+	"mrlegal/internal/verify"
+)
+
+// TPL is the triple-patterning color-compatibility rule (Yu et al.):
+// every master is assigned one of three lithography colors, and two
+// x-adjacent cells of the same color must keep at least Sep empty
+// sites between them so their patterns decompose onto distinct masks.
+// Colors are derived deterministically from the master name (a real
+// flow would read them from the library; the hash stands in for that
+// table while exercising the same engine paths).
+type TPL struct {
+	// Sep is the required gap between same-color x-neighbors; >= 1.
+	Sep int
+}
+
+// NewTPL validates and builds a triple-patterning plugin.
+func NewTPL(sep int) (*TPL, error) {
+	if sep < 1 {
+		return nil, fmt.Errorf("constraint: tpl sep=%d must be >= 1", sep)
+	}
+	return &TPL{Sep: sep}, nil
+}
+
+// Name implements Constraint.
+func (t *TPL) Name() string { return "tpl" }
+
+// Spec implements Constraint.
+func (t *TPL) Spec() string { return fmt.Sprintf("tpl:sep=%d", t.Sep) }
+
+// NumClasses implements Constraint: the three mask colors.
+func (t *TPL) NumClasses() int { return 3 }
+
+// Class implements Constraint: FNV-1a over the master name, mod 3.
+func (t *TPL) Class(m *design.Master, _, _ int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(m.Name); i++ {
+		h ^= uint64(m.Name[i])
+		h *= prime64
+	}
+	return int(h % 3)
+}
+
+// Gap implements Constraint: same-color pairs need Sep.
+func (t *TPL) Gap(l, r int) int {
+	if l == r {
+		return t.Sep
+	}
+	return 0
+}
+
+// AllowRow implements Constraint: coloring never restricts rows.
+func (t *TPL) AllowRow(_, _, _ int) bool { return true }
+
+// NarrowX implements Constraint: coloring never clamps x.
+func (t *TPL) NarrowX(_, _ int) (int, int, bool) { return 0, 0, false }
+
+// Bound implements Constraint: 0 (always admissible).
+func (t *TPL) Bound(_, _ int, _ float64) float64 { return 0 }
+
+// Check implements Constraint via the shared adjacency sweep.
+func (t *TPL) Check(d *design.Design, add func(verify.Violation) bool) {
+	checkAdjacency(d, t, add)
+}

@@ -91,7 +91,11 @@ type memoRow struct {
 
 // memoOutcome records one prior search outcome against the entry's
 // content, keyed by target shape. The key includes the master (not just
-// the dimensions) because the power-rail row filter depends on it.
+// the dimensions) because the power-rail row filter depends on it. The
+// constraint plugins need no extra key component: a target's composite
+// class is a pure function of (master, w, h) under a fixed constraint set,
+// and changing the set drops every cache table (syncConstraints), so a
+// verdict can never be replayed under different rules.
 type memoOutcome struct {
 	m    *design.Master
 	w, h int
@@ -186,6 +190,25 @@ func clipWin(g *segment.Grid, win geom.Rect) geom.Rect {
 
 func newExtractCache() *extractCache {
 	return &extractCache{entries: make(map[geom.Rect]*extractMemo)}
+}
+
+// capSpan is the x-span the cache's capture and validation scans cover for
+// a window: the window's own span, inflated by the active constraint set's
+// maximum pairwise gap. Extraction collects from the same inflated span
+// (scratch.extract's colWin), so cells just outside the window that can
+// still exert a constraint gap on in-window geometry must be part of the
+// dependency set and content signature. The cache key itself stays
+// un-inflated (clipWin); a constraint-set change drops every table
+// wholesale (syncConstraints), so entries never mix inflation radii.
+func (l *Legalizer) capSpan(win geom.Rect) geom.Span {
+	sp := geom.Span{Lo: win.X, Hi: win.X2()}
+	if l.cons != nil {
+		if mg := l.cons.MaxGap(); mg > 0 {
+			sp.Lo -= mg
+			sp.Hi += mg
+		}
+	}
+	return sp
 }
 
 // ccFor resolves the cache an attempt reads: the scratch's shard-local
@@ -284,7 +307,7 @@ func (l *Legalizer) cacheAdmit(sc *scratch, key geom.Rect) bool {
 // clipped window. Callers hold gridMu (either side).
 func (l *Legalizer) captureDeps(win geom.Rect, deps []depRec) []depRec {
 	deps = deps[:0]
-	span := geom.Span{Lo: win.X, Hi: win.X2()}
+	span := l.capSpan(win)
 	for y := win.Y; y < win.Y2(); y++ {
 		for _, s := range l.G.RowSegments(y) {
 			if s.Span.Overlaps(span) {
@@ -301,7 +324,7 @@ func (l *Legalizer) captureDeps(win geom.Rect, deps []depRec) []depRec {
 func (l *Legalizer) captureContent(win geom.Rect, rowCnt []int32, recs []contentRec) ([]int32, []contentRec) {
 	rowCnt = rowCnt[:0]
 	recs = recs[:0]
-	span := geom.Span{Lo: win.X, Hi: win.X2()}
+	span := l.capSpan(win)
 	for y := win.Y; y < win.Y2(); y++ {
 		n := 0
 		for _, s := range l.G.RowSegments(y) {
@@ -311,11 +334,11 @@ func (l *Legalizer) captureContent(win geom.Rect, rowCnt []int32, recs []content
 			cells := s.Cells()
 			i := sort.Search(len(cells), func(i int) bool {
 				c := l.D.Cell(cells[i])
-				return c.X+c.W > win.X
+				return c.X+c.W > span.Lo
 			})
 			for ; i < len(cells); i++ {
 				c := l.D.Cell(cells[i])
-				if c.X >= win.X2() {
+				if c.X >= span.Hi {
 					break
 				}
 				recs = append(recs, contentRec{id: cells[i], x: int32(c.X), w: int32(c.W)})
@@ -343,7 +366,7 @@ func (l *Legalizer) verifyMemo(m *extractMemo) bool {
 		return true
 	}
 	win := m.win
-	span := geom.Span{Lo: win.X, Hi: win.X2()}
+	span := l.capSpan(win)
 	ci := 0
 	for rel := 0; rel < win.H; rel++ {
 		y := win.Y + rel
@@ -356,11 +379,11 @@ func (l *Legalizer) verifyMemo(m *extractMemo) bool {
 			cells := s.Cells()
 			i := sort.Search(len(cells), func(i int) bool {
 				c := l.D.Cell(cells[i])
-				return c.X+c.W > win.X
+				return c.X+c.W > span.Lo
 			})
 			for ; i < len(cells); i++ {
 				c := l.D.Cell(cells[i])
-				if c.X >= win.X2() {
+				if c.X >= span.Hi {
 					break
 				}
 				if n >= want {

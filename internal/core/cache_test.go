@@ -6,9 +6,11 @@ package core
 // restore-equals-fresh-extraction property the snapshot reuse rests on.
 
 import (
+	"math"
 	"slices"
 	"testing"
 
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/design"
 	"mrlegal/internal/dtest"
 	"mrlegal/internal/faultinject"
@@ -317,6 +319,111 @@ func TestCacheCapEvicts(t *testing.T) {
 	}
 }
 
+// TestCacheConstraintEpochIsolation: memos are rule-dependent (squeezed
+// bounds, gapped intervals, noIP verdicts, carry-forward seeds), so
+// switching the active constraint set on a live Legalizer must open a
+// fresh cache epoch — sequential runs under different rules never share
+// entries, and the hit counter does not move across the switch.
+func TestCacheConstraintEpochIsolation(t *testing.T) {
+	mkSet := func(minw, gap int) *constraint.Set {
+		sp, err := constraint.NewSpacing(minw, gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := constraint.NewSet(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	d := dtest.Flat(1, 20)
+	dtest.Placed(d, 10, 1, 0, 0)
+	dtest.Placed(d, 10, 1, 10, 0)
+	tgt := dtest.Unplaced(d, 5, 1, 10, 0)
+	l, err := NewLegalizer(d, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	attempt := func(tag string) {
+		t.Helper()
+		if l.MLL(tgt, 10, 0) {
+			t.Fatalf("%s: MLL should fail on a full row", tag)
+		}
+	}
+
+	// Unconstrained epoch: two misses store the noIP memo, the third hits.
+	for i := 0; i < 3; i++ {
+		attempt("unconstrained")
+	}
+	s := l.Stats()
+	if s.ExtractCacheHits != 1 || s.ExtractCacheMisses != 2 {
+		t.Fatalf("unconstrained epoch: hits=%d misses=%d, want 1/2", s.ExtractCacheHits, s.ExtractCacheMisses)
+	}
+
+	// Switch rules: the same window key must start from scratch. Three
+	// attempts replay the admission dance; only the third may hit, and
+	// it hits the memo stored UNDER THIS SET, not the old verdict.
+	l.Cfg.Constraints = mkSet(1, 2)
+	attempt("spacing epoch, attempt 1")
+	if s = l.Stats(); s.ExtractCacheHits != 1 {
+		t.Fatalf("hit counter moved across the constraint switch: hits=%d, want still 1", s.ExtractCacheHits)
+	}
+	attempt("spacing epoch, attempt 2")
+	if s = l.Stats(); s.ExtractCacheHits != 1 {
+		t.Fatalf("second post-switch attempt replayed an old-epoch memo: hits=%d", s.ExtractCacheHits)
+	}
+	attempt("spacing epoch, attempt 3")
+	if s = l.Stats(); s.ExtractCacheHits != 2 || s.ExtractCacheMisses != 4 {
+		t.Fatalf("spacing epoch: hits=%d misses=%d, want 2/4", s.ExtractCacheHits, s.ExtractCacheMisses)
+	}
+
+	// An equal-signature set is the SAME epoch: replacing the pointer
+	// with a rule-identical set must keep the cache.
+	l.Cfg.Constraints = mkSet(1, 2)
+	attempt("equal-signature set")
+	if s = l.Stats(); s.ExtractCacheHits != 3 {
+		t.Fatalf("equal-signature set flushed the cache: hits=%d, want 3", s.ExtractCacheHits)
+	}
+
+	// Switching back to no constraints flushes again — the unconstrained
+	// memos from the first epoch are long gone.
+	l.Cfg.Constraints = nil
+	attempt("back to unconstrained")
+	if s = l.Stats(); s.ExtractCacheHits != 3 {
+		t.Fatalf("hit counter moved when switching back to nil: hits=%d, want still 3", s.ExtractCacheHits)
+	}
+}
+
+// fuzzConstraintConfigs are the constraint sets FuzzCachedExtractionMatchesFresh
+// samples: extraction itself is rule-dependent (gap-inflated column
+// windows, gap-aware xL/xR squeezing, NarrowX clamps), so the
+// restore-equals-fresh theorem must hold under every plugin shape, not
+// just the empty set.
+func fuzzConstraintConfigs(t *testing.T) []*constraint.Set {
+	t.Helper()
+	mk := func(cons ...constraint.Constraint) *constraint.Set {
+		set, err := constraint.NewSet(cons...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return set
+	}
+	sp, err := constraint.NewSpacing(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := constraint.NewTPL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fence, err := constraint.NewFence(geom.Rect{X: 5, Y: 1, W: 20, H: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*constraint.Set{nil, mk(sp), mk(tpl), mk(fence, sp)}
+}
+
 // fuzzOps applies a fuzz-directed sequence of legal grid mutations
 // (Remove, Insert at a probed-free slot, in-gap ShiftX) to the design.
 type fuzzState struct {
@@ -377,11 +484,16 @@ func (f *fuzzState) apply(op, sel, a, b byte) {
 // interleaving of Insert/Remove/ShiftX, (a) the window content really is
 // signature-identical, and (b) restoring the snapshot reproduces a fresh
 // extraction exactly — same local cells, same per-row segments and lists,
-// same xL/xR bounds.
+// same xL/xR bounds. One fuzz byte samples the active constraint set,
+// since extraction geometry (inflated windows, gapped squeezes) is
+// rule-dependent.
 func FuzzCachedExtractionMatchesFresh(f *testing.F) {
 	f.Add([]byte{3, 10, 8, 3, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
 	f.Add([]byte{0, 0, 20, 6, 2, 0, 7, 7, 1, 0, 30, 2, 2, 3, 200, 0, 0, 5, 40, 1})
 	f.Add([]byte{12, 1, 14, 2, 2, 2, 3, 0, 2, 4, 1, 1, 0, 6, 2, 6, 22, 3})
+	f.Add([]byte{3, 10, 8, 3, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 20, 6, 3, 2, 0, 7, 7, 1, 0, 30, 2, 2, 3, 200, 0, 0, 5, 40, 1})
+	f.Add([]byte{12, 1, 14, 2, 2, 2, 2, 3, 0, 2, 4, 1, 1, 0, 6, 2, 6, 22, 3})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := dtest.Flat(6, 40)
 		st := &fuzzState{t: t, d: d}
@@ -418,8 +530,20 @@ func FuzzCachedExtractionMatchesFresh(f *testing.F) {
 			return
 		}
 
+		// Sample a constraint set and arm it the way planCellInner would
+		// (class 0, open target clamp: no specific target is in play).
+		sets := fuzzConstraintConfigs(t)
+		l.Cfg.Constraints = sets[int(next())%len(sets)]
+		l.syncConstraints()
+		arm := func(sc *scratch) {
+			sc.cons = l.cons
+			sc.conTCls = 0
+			sc.conTLo, sc.conTHi = math.MinInt, math.MaxInt
+		}
+
 		// Extract and capture an entry the way cachedExtract + cacheStore do.
 		sc1 := newScratch()
+		arm(sc1)
 		sc1.extract(l.G, win)
 		m := &extractMemo{win: key}
 		m.deps = l.captureDeps(key, nil)
@@ -441,8 +565,10 @@ func FuzzCachedExtractionMatchesFresh(f *testing.F) {
 		}
 
 		fresh := newScratch()
+		arm(fresh)
 		rF := fresh.extract(l.G, win)
 		rest := newScratch()
+		arm(rest)
 		rR := l.restoreFromMemo(rest, m)
 
 		if rF.Win != rR.Win {

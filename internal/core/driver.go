@@ -85,6 +85,7 @@ type runState struct {
 
 // run is the engine shared by the strict and best-effort entry points.
 func (l *Legalizer) run(ctx context.Context) (*Report, error) {
+	l.syncConstraints()
 	rep := &Report{}
 	st := &runState{rep: rep, lastErr: make(map[design.CellID]error)}
 	var runStart time.Time
@@ -429,7 +430,7 @@ func (l *Legalizer) maybeAudit(st *runState) []design.CellID {
 		l.om.auditRuns.Inc()
 	}
 	bad := l.Cfg.Faults != nil && l.Cfg.Faults.OnAudit()
-	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign}, 1)) > 0 {
+	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign, Extra: l.conCheck}, 1)) > 0 {
 		bad = true
 	}
 	if !bad && l.G.CheckConsistency() != nil {
@@ -493,6 +494,7 @@ func (l *Legalizer) PlaceCell(id design.CellID, tx, ty float64) bool {
 // ErrCellTooWide, ErrPanicked, ...), with all intermediate state rolled
 // back.
 func (l *Legalizer) TryPlaceCell(id design.CellID, tx, ty float64) error {
+	l.syncConstraints()
 	c := l.D.Cell(id)
 	if c.Placed {
 		panic("core: PlaceCell target must be unplaced")
@@ -568,6 +570,7 @@ func (l *Legalizer) MoveCell(id design.CellID, tx, ty float64) bool {
 // transaction: any failure — including a panic mid-realization — rolls
 // the cell back to its original position with the grid intact.
 func (l *Legalizer) TryMoveCell(id design.CellID, tx, ty float64) error {
+	l.syncConstraints()
 	c := l.D.Cell(id)
 	if c.Fixed {
 		return l.cellErr(id, ErrFixedCell)
@@ -595,6 +598,7 @@ func (l *Legalizer) ResizeCell(id design.CellID, newW int) bool {
 // transaction so every failure path restores the original width and
 // position.
 func (l *Legalizer) TryResizeCell(id design.CellID, newW int) error {
+	l.syncConstraints()
 	if newW < 1 {
 		return l.cellErr(id, ErrInvalidWidth)
 	}

@@ -80,12 +80,17 @@ func (r *Region) yCost(y int, ty float64) float64 {
 //     x ∈ [lo, hi], so |x − x'_t| ≥ dist(x'_t, [lo, hi]).
 //   - mandatory push: a gap between left neighbor i and right neighbor j
 //     (current free width f = x_j − (x_i+w_i), Interval.free) contributes
-//     max(0, a_i−x) + max(0, x−b_j) ≥ a_i − b_j ≥ w_t − f for any x,
-//     because a_i ≥ x_i+w_i and b_j ≤ x_j−w_t in both the approximate and
-//     the exact critical-position sets. Rows contribute these via
-//     *distinct* (deduplicated) cells, so the max over the combination's
-//     rows — not the sum, which could double-count a shared multi-row
-//     neighbor — is a valid bound.
+//     max(0, a_i−x) + max(0, x−b_j) ≥ a_i − b_j ≥ need − f for any x,
+//     because a_i ≥ x_i+w_i+gap_i and b_j ≤ x_j−w_t−gap_j in both the
+//     approximate and the exact critical-position sets, and Interval.need
+//     = w_t + gap_i + gap_j (= w_t when no constraint plugins are active).
+//     Rows contribute these via *distinct* (deduplicated) cells, so the
+//     max over the combination's rows — not the sum, which could
+//     double-count a shared multi-row neighbor — is a valid bound.
+//   - with constraint plugins active, scratch.conLBx adds the target's own
+//     horizontal NarrowX distance dist(x'_t, [conTLo, conTHi]) ≤ |x − x'_t|
+//     to the *window* bound only (never the per-candidate subtree bound,
+//     where xDist already covers the same term).
 //
 // The composed candidate bound re-associates float additions relative to
 // the evaluator's left-to-right summation, so candidate-level pruning
@@ -110,11 +115,11 @@ func xDist(tx float64, lo, hi int) float64 {
 	return 0
 }
 
-// mandatoryPush is the interval's unavoidable neighbor displacement for a
-// target of width wt: the target needs wt sites where only Interval.free
-// are currently free.
-func (iv *Interval) mandatoryPush(wt int) int {
-	if p := wt - iv.free; p > 0 {
+// mandatoryPush is the interval's unavoidable neighbor displacement: the
+// target effectively needs Interval.need sites (its width plus required
+// constraint gaps) where only Interval.free are currently free.
+func (iv *Interval) mandatoryPush() int {
+	if p := iv.need - iv.free; p > 0 {
 		return p
 	}
 	return 0
@@ -126,6 +131,7 @@ func (iv *Interval) mandatoryPush(wt int) int {
 // position is x_i + w_i; for a right neighbor j it is x_j − w_t.
 func (r *Region) evaluateApprox(ip *InsertionPoint, wt int, tx, ty float64) Evaluation {
 	sc := r.sc
+	cons, tcls := sc.cons, sc.conTCls
 	lpts, rpts := sc.lpts[:0], sc.rpts[:0]
 	var seenL, seenR [8]int32 // h_t is tiny; fixed-size dedup
 	nl, nr := 0, 0
@@ -136,7 +142,11 @@ func (r *Region) evaluateApprox(ip *InsertionPoint, wt int, tx, ty float64) Eval
 				nl++
 			}
 			lc := &sc.cells[iv.leftIdx]
-			lpts = append(lpts, float64(lc.x+lc.w))
+			gapL := 0
+			if cons != nil {
+				gapL = cons.Gap(lc.cls, tcls)
+			}
+			lpts = append(lpts, float64(lc.x+lc.w+gapL))
 		}
 		if iv.rightIdx >= 0 && !contains32(seenR[:nr], iv.rightIdx) {
 			if nr < len(seenR) {
@@ -144,7 +154,11 @@ func (r *Region) evaluateApprox(ip *InsertionPoint, wt int, tx, ty float64) Eval
 				nr++
 			}
 			rc := &sc.cells[iv.rightIdx]
-			rpts = append(rpts, float64(rc.x-wt))
+			gapR := 0
+			if cons != nil {
+				gapR = cons.Gap(tcls, rc.cls)
+			}
+			rpts = append(rpts, float64(rc.x-wt-gapR))
 		}
 	}
 	lpts = append(lpts, tx)
@@ -170,10 +184,15 @@ func contains32(s []int32, v int32) bool {
 // must stay to leave u unmoved (a_u = x_u + kL[u]); kR[u] the symmetric
 // right-side value (b_u = x_u − kR[u]). Propagation:
 //
-//	kL_u = w_u + max{ kL_z : z immediate right neighbor of u in the
-//	                  pushed set }          (kL_i = w_i for gap neighbors)
-//	kR_u = max{ kR_z + w_z : z immediate left neighbor in the pushed set }
-//	                                        (kR_j = w_t for gap neighbors)
+//	kL_u = w_u + gap(u, z) + max{ kL_z : z immediate right neighbor of u
+//	            in the pushed set }    (kL_i = w_i + gap(i, t) for gap
+//	                                    neighbors)
+//	kR_u = max{ kR_z + w_z + gap(z, u) : z immediate left neighbor in the
+//	            pushed set }           (kR_j = w_t + gap(t, j) for gap
+//	                                    neighbors)
+//
+// where gap(a, b) is the constraint plugins' required spacing between an
+// x-adjacent pair (a left of b); zero when no plugins are active.
 //
 // Propagation crosses rows through multi-row cells, which is exactly what
 // makes the multi-row problem harder than the single-row one. Cells are
@@ -187,15 +206,24 @@ func (r *Region) exactClearances(ip *InsertionPoint, wt int) {
 	sc.kR = grow(sc.kR, n)
 	fill32(sc.kL, -1)
 	fill32(sc.kR, -1)
+	cons, tcls := sc.cons, sc.conTCls
 	for _, iv := range ip.Intervals {
 		if iv.leftIdx >= 0 {
 			lc := &sc.cells[iv.leftIdx]
-			if w := int32(lc.w); w > sc.kL[iv.leftIdx] {
+			gapL := 0
+			if cons != nil {
+				gapL = cons.Gap(lc.cls, tcls)
+			}
+			if w := int32(lc.w + gapL); w > sc.kL[iv.leftIdx] {
 				sc.kL[iv.leftIdx] = w
 			}
 		}
 		if iv.rightIdx >= 0 {
-			if w := int32(wt); w > sc.kR[iv.rightIdx] {
+			gapR := 0
+			if cons != nil {
+				gapR = cons.Gap(tcls, sc.cells[iv.rightIdx].cls)
+			}
+			if w := int32(wt + gapR); w > sc.kR[iv.rightIdx] {
 				sc.kR[iv.rightIdx] = w
 			}
 		}
@@ -215,7 +243,12 @@ func (r *Region) exactClearances(ip *InsertionPoint, wt int) {
 				continue
 			}
 			vi := sc.rowIdx[rel][pos-1]
-			if kv := ku + int32(sc.cells[vi].w); kv > sc.kL[vi] {
+			v := &sc.cells[vi]
+			g := 0
+			if cons != nil {
+				g = cons.Gap(v.cls, u.cls)
+			}
+			if kv := ku + int32(v.w+g); kv > sc.kL[vi] {
 				sc.kL[vi] = kv
 			}
 		}
@@ -236,7 +269,11 @@ func (r *Region) exactClearances(ip *InsertionPoint, wt int) {
 				continue
 			}
 			vi := idxs[pos+1]
-			if kv := ku + int32(u.w); kv > sc.kR[vi] {
+			g := 0
+			if cons != nil {
+				g = cons.Gap(u.cls, sc.cells[vi].cls)
+			}
+			if kv := ku + int32(u.w+g); kv > sc.kR[vi] {
 				sc.kR[vi] = kv
 			}
 		}

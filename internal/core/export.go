@@ -43,13 +43,21 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 	iv := Interval{RelRow: rel, GapIdx: gapIdx,
 		Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
 	gapLo, gapHi := ls.Span.Lo, ls.Span.Hi
+	// Mirrors buildIntervals: constraint gaps against the neighbors and the
+	// target's NarrowX clamp, so external solvers see the same interval the
+	// enumeration would (cons is nil for the usual unconstrained callers).
+	cons, tcls := r.sc.cons, r.sc.conTCls
+	gapL, gapR := 0, 0
 	if gapIdx == 0 {
 		iv.Lo = ls.Span.Lo
 	} else {
 		li := r.sc.rowIdx[rel][gapIdx-1]
 		lc := &r.sc.cells[li]
 		iv.Left, iv.leftIdx = lc.id, li
-		iv.Lo = lc.xL + lc.w
+		if cons != nil {
+			gapL = cons.Gap(lc.cls, tcls)
+		}
+		iv.Lo = lc.xL + lc.w + gapL
 		gapLo = lc.x + lc.w
 	}
 	if gapIdx == len(ls.Cells) {
@@ -58,12 +66,23 @@ func (r *Region) IntervalAt(rel, gapIdx, wt int) (Interval, bool) {
 		ri := r.sc.rowIdx[rel][gapIdx]
 		rc := &r.sc.cells[ri]
 		iv.Right, iv.rightIdx = rc.id, ri
-		iv.Hi = rc.xR - wt
+		if cons != nil {
+			gapR = cons.Gap(tcls, rc.cls)
+		}
+		iv.Hi = rc.xR - wt - gapR
 		gapHi = rc.x
 	}
 	iv.free = gapHi - gapLo
+	iv.need = wt + gapL + gapR
 	if iv.Hi < iv.Lo {
 		return Interval{}, false
+	}
+	if cons != nil {
+		lo, hi := max(iv.Lo, r.sc.conTLo), min(iv.Hi, r.sc.conTHi)
+		if hi < lo {
+			return Interval{}, false
+		}
+		iv.Lo, iv.Hi = lo, hi
 	}
 	return iv, true
 }

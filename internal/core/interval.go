@@ -32,10 +32,15 @@ type Interval struct {
 
 	// free is the gap's free width in the *current* placement (right
 	// neighbor's x minus left neighbor's right edge, segment boundaries
-	// included). A target wider than free forces at least wt−free sites of
-	// neighbor displacement, which is the mandatory-push term of the
+	// included). A target wider than free forces at least need−free sites
+	// of neighbor displacement, which is the mandatory-push term of the
 	// best-first search's admissible lower bound (docs/PERFORMANCE.md §5).
 	free int
+
+	// need is the width the target effectively consumes in this gap: wt
+	// plus the required constraint gaps against the left and right
+	// neighbors (constraint.Set.Gap). Equal to wt without constraints.
+	need int
 }
 
 // Len returns Hi - Lo (≥ 0 for constructed intervals).
@@ -63,16 +68,21 @@ func (r *Region) buildIntervals(wt int) [][]Interval {
 		}
 		idxs := sc.rowIdx[rel]
 		n := len(idxs)
+		cons, tcls := sc.cons, sc.conTCls
 		for k := 0; k <= n; k++ {
 			iv := Interval{RelRow: rel, GapIdx: k,
 				Left: design.NoCell, Right: design.NoCell, leftIdx: -1, rightIdx: -1}
 			gapLo, gapHi := ls.Span.Lo, ls.Span.Hi
+			gapL, gapR := 0, 0
 			if k == 0 {
 				iv.Lo = ls.Span.Lo
 			} else {
 				lc := &sc.cells[idxs[k-1]]
 				iv.Left, iv.leftIdx = lc.id, idxs[k-1]
-				iv.Lo = lc.xL + lc.w
+				if cons != nil {
+					gapL = cons.Gap(lc.cls, tcls)
+				}
+				iv.Lo = lc.xL + lc.w + gapL
 				gapLo = lc.x + lc.w
 			}
 			if k == n {
@@ -80,13 +90,30 @@ func (r *Region) buildIntervals(wt int) [][]Interval {
 			} else {
 				rc := &sc.cells[idxs[k]]
 				iv.Right, iv.rightIdx = rc.id, idxs[k]
-				iv.Hi = rc.xR - wt
+				if cons != nil {
+					gapR = cons.Gap(tcls, rc.cls)
+				}
+				iv.Hi = rc.xR - wt - gapR
 				gapHi = rc.x
 			}
 			iv.free = gapHi - gapLo
-			if iv.Hi >= iv.Lo {
-				sc.intervals = append(sc.intervals, iv)
+			iv.need = wt + gapL + gapR
+			if iv.Hi < iv.Lo {
+				continue
 			}
+			if cons != nil {
+				// The target's own NarrowX clamp. This single clamp point
+				// covers both search modes — everything downstream
+				// (scanline enumeration and the best-first window walk)
+				// consumes these intervals.
+				lo, hi := max(iv.Lo, sc.conTLo), min(iv.Hi, sc.conTHi)
+				if hi < lo {
+					sc.stats.ConstraintFiltered++
+					continue
+				}
+				iv.Lo, iv.Hi = lo, hi
+			}
+			sc.intervals = append(sc.intervals, iv)
 		}
 	}
 	starts[len(r.Segs)] = len(sc.intervals)

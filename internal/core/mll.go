@@ -2,16 +2,19 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"time"
 
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
 	"mrlegal/internal/obs"
 	"mrlegal/internal/sched"
 	"mrlegal/internal/segment"
 	"mrlegal/internal/tune"
+	"mrlegal/internal/verify"
 )
 
 // Config tunes the legalizer. The zero value is NOT usable; start from
@@ -120,6 +123,23 @@ type Config struct {
 	// Report.Phases. Off by default: the accounting adds time syscalls to
 	// the enumeration hot loop.
 	PhaseTiming bool
+
+	// Constraints composes additional placement rules on top of the
+	// paper's base legality model: fence/power-domain regions, minimum
+	// edge spacing between x-neighbors and triple-patterning color
+	// compatibility (see internal/constraint and docs/CONSTRAINTS.md).
+	// Each plugin filters insertion points during window enumeration,
+	// contributes an admissible term to the best-first lower bound (so
+	// pruning stays exact and search ≡ sweep holds with plugins active),
+	// and registers a post-placement checker into mid-run audits. A nil
+	// or empty set keeps every pipeline byte-identical to a
+	// constraint-free build (golden-gated). Incompatible with an
+	// external Solver — NewLegalizer rejects the combination, since
+	// solvers bypass the filter-aware enumeration the rules ride on.
+	// Swapping the set between runs on one Legalizer opens a fresh
+	// extraction-cache epoch: cached verdicts never leak across rule
+	// configurations.
+	Constraints *constraint.Set
 
 	// Solver, when non-nil, replaces the built-in enumerate-and-evaluate
 	// local solver with an external one (the paper's §6 ILP baseline
@@ -244,6 +264,13 @@ type Stats struct {
 	TuneWindowsPromoted int64
 	TuneWinCutSkips     int64
 
+	// ConstraintFiltered counts placement options rejected by the
+	// active constraint set (Config.Constraints): candidate intervals
+	// emptied by the target's x-clamp plus direct-placement probes
+	// vetoed by a plugin. Deterministic per configuration; zero when no
+	// constraints are configured.
+	ConstraintFiltered int64
+
 	CellsPushed int64 // local cells moved by realizations
 	RetryRounds int   // extra Algorithm-1 rounds needed
 }
@@ -341,6 +368,20 @@ type Legalizer struct {
 	// cutoffs of the current round, written by placeRound before any
 	// planning starts and read-only while workers are in flight.
 	tuneRx, tuneRy, tuneCut [tune.NumFamilies]int
+
+	// cons is the resolved constraint set of the current configuration,
+	// nil when empty so the hot path stays on one pointer compare.
+	// consSrc and conSig track the Cfg.Constraints value and signature
+	// last synced, letting syncConstraints detect rule-set swaps and
+	// open a fresh extraction-cache epoch (cached verdicts depend on the
+	// active rules and must never survive a switch).
+	cons    *constraint.Set
+	consSrc *constraint.Set
+	conSig  string
+
+	// conCheck holds the plugins' post-placement checkers in
+	// verify.Options.Extra shape, wired into mid-run audits.
+	conCheck []func(d *design.Design, add func(verify.Violation) bool)
 }
 
 // LastMoved returns the cells pushed aside by the most recent successful
@@ -356,7 +397,11 @@ func NewLegalizer(d *design.Design, cfg Config) (*Legalizer, error) {
 	if err := g.RebuildOccupancy(); err != nil {
 		return nil, err
 	}
+	if cfg.Solver != nil && !cfg.Constraints.Empty() {
+		return nil, errors.New("core: Config.Constraints cannot be combined with an external Solver (plugins ride the built-in enumeration)")
+	}
 	l := &Legalizer{D: d, G: g, Cfg: cfg, rng: newRNG(cfg.Seed)}
+	l.syncConstraints()
 	if cfg.Obs != nil {
 		l.om = newObsMetrics(cfg.Obs)
 	}
@@ -398,6 +443,116 @@ func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
 	return func(y int) bool { return d.RailCompatible(m, y) }
 }
 
+// conAllowRowFn composes the power-rail filter with the constraint set's
+// row admission for the armed target. Only called when sc.cons is non-nil;
+// the empty configuration builds the plain rail closure at the call site
+// instead, so that closure keeps stack-allocating there (a rail closure
+// returned from here must escape, which would cost the hot path its
+// ≤ 8 allocs/op contract).
+func (l *Legalizer) conAllowRowFn(sc *scratch, m *design.Master, h int) func(int) bool {
+	rail := l.allowRowFn(m)
+	cons := sc.cons
+	cls := sc.conTCls
+	if rail == nil {
+		return func(y int) bool { return cons.AllowRow(cls, h, y) }
+	}
+	return func(y int) bool { return rail(y) && cons.AllowRow(cls, h, y) }
+}
+
+// syncConstraints resolves Cfg.Constraints into the hot-path fields,
+// opening a fresh extraction-cache epoch when the active rule set
+// changed: memos record rule-dependent state (squeezed bounds, gapped
+// intervals, no-insertion-point verdicts, carry-forward seeds), so a
+// cached verdict must never be served under different rules. Cheap when
+// nothing changed — one pointer compare, then a signature compare.
+func (l *Legalizer) syncConstraints() {
+	src := l.Cfg.Constraints
+	if src == l.consSrc {
+		return
+	}
+	if sig := src.Signature(); sig != l.conSig {
+		// The rules changed: drop the shared cache and every shard cache
+		// (their two-touch admission sets included).
+		l.cache = nil
+		l.shardCaches = nil
+		l.conSig = sig
+	}
+	l.consSrc = src
+	if src.Empty() {
+		l.cons, l.conCheck = nil, nil
+	} else {
+		l.cons = src
+		l.conCheck = src.Checkers()
+	}
+}
+
+// armConstraints loads the per-attempt constraint state for target c
+// desiring x=tx: the composite class, the NarrowX clamp on the target's
+// left edge and the admissible horizontal bound term. With no
+// constraints the fields reset to neutral and every consumer stays on
+// its original code path.
+func (l *Legalizer) armConstraints(sc *scratch, c *design.Cell, tx float64) {
+	sc.cons = l.cons
+	if l.cons == nil {
+		sc.conTCls = 0
+		sc.conTLo, sc.conTHi = math.MinInt, math.MaxInt
+		sc.conLBx = 0
+		return
+	}
+	sc.conTCls = l.cons.Class(l.D.MasterOf(c.ID), c.W, c.H)
+	sc.conTLo, sc.conTHi = l.cons.NarrowX(sc.conTCls, c.W)
+	sc.conLBx = l.cons.Bound(sc.conTCls, c.W, tx)
+}
+
+// constraintsOKAt vets a probed-free direct placement at (x, y) against
+// the armed constraint set: row admission, the target x-clamp, and —
+// when any plugin requires gaps — a neighbor scan over the
+// MaxGap-inflated footprint checking the pairwise gap against every
+// placed movable neighbor (fixed cells are walls; the engine never
+// enforces gaps across them). Conservative: a vetoed probe falls
+// through to the MLL pipeline, which enforces the rules exactly.
+// Callers hold gridMu's read side.
+func (l *Legalizer) constraintsOKAt(sc *scratch, c *design.Cell, x, y int) bool {
+	cons := sc.cons
+	if cons == nil {
+		return true
+	}
+	if !cons.AllowRow(sc.conTCls, c.H, y) || x < sc.conTLo || x > sc.conTHi {
+		sc.stats.ConstraintFiltered++
+		return false
+	}
+	mg := cons.MaxGap()
+	if mg == 0 {
+		return true
+	}
+	probe := geom.Rect{X: x - mg, Y: y, W: c.W + 2*mg, H: c.H}
+	sc.conProbe = l.G.CellsIn(probe, sc.conProbe[:0])
+	for _, nid := range sc.conProbe {
+		if nid == c.ID {
+			continue
+		}
+		n := l.D.Cell(nid)
+		if n.Fixed || !n.Placed {
+			continue
+		}
+		ncls := cons.Class(l.D.MasterOf(nid), n.W, n.H)
+		if n.X+n.W <= x {
+			if x-(n.X+n.W) < cons.Gap(ncls, sc.conTCls) {
+				sc.stats.ConstraintFiltered++
+				return false
+			}
+		} else if n.X >= x+c.W {
+			if n.X-(x+c.W) < cons.Gap(sc.conTCls, ncls) {
+				sc.stats.ConstraintFiltered++
+				return false
+			}
+		}
+		// x-overlapping neighbors on shared rows cannot happen: the
+		// caller's FreeAt probe already passed.
+	}
+	return true
+}
+
 // MLL runs Multi-row Local Legalization (§4) for the unplaced cell id
 // with desired position (tx, ty) in fractional site units: it extracts
 // the local region around the target, enumerates valid insertion points,
@@ -405,6 +560,7 @@ func (l *Legalizer) allowRowFn(m *design.Master) func(int) bool {
 // placement was found; on failure the design is unchanged (the attempt
 // runs inside a transaction, so even a panic mid-realization rolls back).
 func (l *Legalizer) MLL(id design.CellID, tx, ty float64) bool {
+	l.syncConstraints()
 	err := l.attempt(id, func() error {
 		return l.mllAt(id, tx, ty, l.Cfg.Rx, l.Cfg.Ry)
 	})
@@ -418,7 +574,9 @@ func (l *Legalizer) mllAt(id design.CellID, tx, ty float64, rx, ry int) error {
 	sc := l.scratchFor()
 	sc.plan = plan{id: id, tx: tx, ty: ty, rx: rx, ry: ry}
 	l.resetCancel(sc)
-	l.armTune(sc, l.D.Cell(id).H)
+	c := l.D.Cell(id)
+	l.armTune(sc, c.H)
+	l.armConstraints(sc, c, tx)
 	l.gridMu.RLock()
 	r := l.extractPlan(sc, id, tx, ty, rx, ry)
 	l.gridMu.RUnlock()
@@ -488,8 +646,9 @@ func (l *Legalizer) planCellInner(sc *scratch, id design.CellID, tx, ty float64,
 	l.resetCancel(sc)
 	c := l.D.Cell(id)
 	l.armTune(sc, c.H)
+	l.armConstraints(sc, c, tx)
 	l.gridMu.RLock()
-	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) {
+	if x, y, ok := l.snap(c, tx, ty); ok && l.G.FreeAt(x, y, c.W, c.H) && l.constraintsOKAt(sc, c, x, y) {
 		l.gridMu.RUnlock()
 		sc.plan.kind = planDirect
 		sc.plan.x, sc.plan.y = x, y
@@ -731,6 +890,9 @@ func (l *Legalizer) bestInsertionPoint(r *Region, c *design.Cell, tx, ty float64
 	sc := r.sc
 	m := l.D.MasterOf(c.ID)
 	allow := l.allowRowFn(m)
+	if sc.cons != nil {
+		allow = l.conAllowRowFn(sc, m, c.H)
+	}
 	timing := l.timing()
 	var bestEv Evaluation
 	found := false

@@ -57,6 +57,7 @@ type obsMetrics struct {
 	cacheInvalidated *obs.Counter
 	seedBounds       *obs.Counter
 	cellsPushed      *obs.Counter
+	conFiltered      *obs.Counter
 
 	// Transactions and audits.
 	txnCommits     *obs.Counter
@@ -121,6 +122,7 @@ func newObsMetrics(o *obs.Observer) *obsMetrics {
 		cacheInvalidated: r.Counter("mrlegal_extract_cache_invalidations_total", "Extraction-cache lookups that found a stale entry (window content changed)."),
 		seedBounds:       r.Counter("mrlegal_seed_bounds_applied_total", "Best-first searches seeded with a carry-forward incumbent from a prior attempt."),
 		cellsPushed:      r.Counter("mrlegal_cells_pushed_total", "Local cells moved aside by MLL realizations."),
+		conFiltered:      r.Counter("mrlegal_constraint_filtered_total", "Candidate positions rejected by constraint-plugin feasibility filters."),
 
 		txnCommits:     r.Counter("mrlegal_txn_commits_total", "Transactions committed."),
 		txnRollbacks:   r.Counter("mrlegal_txn_rollbacks_total", "Transactions rolled back."),
@@ -179,6 +181,7 @@ func (m *obsMetrics) addMerge(s *Stats, p *PhaseTimes) {
 	m.cacheInvalidated.Add(s.ExtractCacheInvalidations)
 	m.seedBounds.Add(s.SeedBoundsApplied)
 	m.cellsPushed.Add(s.CellsPushed)
+	m.conFiltered.Add(s.ConstraintFiltered)
 	m.tuneWindowsPromoted.Add(s.TuneWindowsPromoted)
 	m.tuneWinCutSkips.Add(s.TuneWinCutSkips)
 	for i, d := range [4]time.Duration{p.Extract, p.Enumerate, p.Evaluate, p.Realize} {

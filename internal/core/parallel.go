@@ -66,6 +66,16 @@ func (l *Legalizer) claimFor(id design.CellID, tx, ty float64, rx, ry int) sched
 		cl.Y0 = min(cl.Y0, y)
 		cl.Y1 = max(cl.Y1, y+c.H)
 	}
+	if l.cons != nil {
+		// Constraint plugins read one max-gap of context beyond the window
+		// (inflated extraction span, direct-placement neighbor probe), so
+		// the reservation widens by the same margin to keep concurrent plans
+		// conflict-serialized on everything they can observe.
+		if mg := l.cons.MaxGap(); mg > 0 {
+			cl.X0 -= mg
+			cl.X1 += mg
+		}
+	}
 	return cl
 }
 

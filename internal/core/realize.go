@@ -38,7 +38,7 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 	// the affected rows are recomputed to cover it.
 	tIdx := int32(len(sc.cells))
 	sc.ids = append(sc.ids, target)
-	sc.cells = append(sc.cells, localCell{id: target, x: x, y: yBot, w: tc.W, h: tc.H})
+	sc.cells = append(sc.cells, localCell{id: target, x: x, y: yBot, w: tc.W, h: tc.H, cls: sc.conTCls})
 	n := len(sc.cells)
 	refreshRow := func(rel int) {
 		idxs := sc.rowIdx[rel]
@@ -88,6 +88,12 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 	sc.movedMark = mark
 	movedList := sc.movedList[:0]
 
+	// Pushes honor the constraint plugins' pairwise gaps: a neighbor is
+	// displaced until it clears the pusher by Gap(left, right) sites, not
+	// merely until the overlap vanishes. cons == nil keeps the historical
+	// zero-gap behavior byte-for-byte.
+	cons := sc.cons
+
 	// Left pass.
 	queue := append(sc.queue[:0], tIdx)
 	for qi := 0; qi < len(queue); qi++ {
@@ -105,8 +111,12 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 			}
 			vi := sc.rowIdx[rel][pos-1]
 			v := &sc.cells[vi]
-			if v.x+v.w > u.x {
-				v.x = u.x - v.w
+			g := 0
+			if cons != nil {
+				g = cons.Gap(v.cls, u.cls)
+			}
+			if v.x+v.w+g > u.x {
+				v.x = u.x - g - v.w
 				if !mark[vi] {
 					mark[vi] = true
 					movedList = append(movedList, vi)
@@ -133,8 +143,12 @@ func (r *Region) Realize(ip *InsertionPoint, x int, target design.CellID) ([]des
 			}
 			vi := idxs[pos+1]
 			v := &sc.cells[vi]
-			if v.x < u.x+u.w {
-				v.x = u.x + u.w
+			g := 0
+			if cons != nil {
+				g = cons.Gap(u.cls, v.cls)
+			}
+			if v.x < u.x+u.w+g {
+				v.x = u.x + u.w + g
 				if !mark[vi] {
 					mark[vi] = true
 					movedList = append(movedList, vi)

@@ -30,6 +30,9 @@ type localCell struct {
 	w, h int
 	xL   int // x in the leftmost placement (§5.1.1)
 	xR   int // x in the rightmost placement
+	// cls is the cell's composite constraint class (constraint.Set);
+	// always 0 when no constraints are active.
+	cls uint8
 }
 
 // LocalSeg is the single local segment chosen on one window row
@@ -174,7 +177,20 @@ func (sc *scratch) extract(g *segment.Grid, win geom.Rect) *Region {
 	}
 	winSpan := geom.Span{Lo: win.X, Hi: win.X2()}
 
-	sc.all = g.CellsIn(win, sc.all[:0])
+	// With gap-requiring constraints active, cells wholly outside the
+	// window but within MaxGap of its x-edges still constrain local
+	// cells; collect from the inflated window so their (inflated)
+	// spans participate in the subtraction below. Containment — and the
+	// cache key — stay on the un-inflated window.
+	infl := 0
+	colWin := win
+	if sc.cons != nil {
+		if infl = sc.cons.MaxGap(); infl > 0 {
+			colWin.X -= infl
+			colWin.W += 2 * infl
+		}
+	}
+	sc.all = g.CellsIn(colWin, sc.all[:0])
 	for _, id := range sc.all {
 		c := d.Cell(id)
 		if c.Fixed || !win.Contains(c.Rect()) {
@@ -193,7 +209,7 @@ func (sc *scratch) extract(g *segment.Grid, win geom.Rect) *Region {
 		// closest to the window centre.
 		for rel := 0; rel < win.H; rel++ {
 			y := win.Y + rel
-			r.Segs[rel] = chooseLocalSeg(g, d, y, winSpan, sc.nonLocal, centerX)
+			r.Segs[rel] = chooseLocalSeg(g, d, y, winSpan, sc.nonLocal, centerX, infl)
 		}
 		// Demote cells that are not fully inside the chosen local
 		// segments of every row they span.
@@ -224,8 +240,12 @@ func (sc *scratch) extract(g *segment.Grid, win geom.Rect) *Region {
 			continue
 		}
 		c := d.Cell(id)
+		var cls uint8
+		if sc.cons != nil {
+			cls = sc.cons.Class(d.MasterOf(id), c.W, c.H)
+		}
 		sc.ids = append(sc.ids, id)
-		sc.cells = append(sc.cells, localCell{id: id, x: c.X, y: c.Y, w: c.W, h: c.H})
+		sc.cells = append(sc.cells, localCell{id: id, x: c.X, y: c.Y, w: c.W, h: c.H, cls: cls})
 		if c.H > 1 {
 			sc.multiRow = append(sc.multiRow, int32(len(sc.ids)-1))
 		}
@@ -286,7 +306,14 @@ func growOuter[T any](s [][]T, n int) [][]T {
 // chooseLocalSeg divides row y inside winSpan by blockages/segment
 // boundaries and non-local cells and returns the free run closest to
 // centerX, per §2.1.3.
-func chooseLocalSeg(g *segment.Grid, d *design.Design, y int, winSpan geom.Span, nonLocal map[design.CellID]bool, centerX int) LocalSeg {
+//
+// infl (the constraint set's MaxGap, 0 without constraints) inflates
+// each MOVABLE non-local cell's subtracted span by infl on both sides:
+// local cells then provably keep at least the largest required gap from
+// every movable cell outside the local segments, which is what makes
+// cross-window gap enforcement sound. Fixed cells stay un-inflated —
+// they are walls, and the engine never requires gaps across walls.
+func chooseLocalSeg(g *segment.Grid, d *design.Design, y int, winSpan geom.Span, nonLocal map[design.CellID]bool, centerX, infl int) LocalSeg {
 	ls := LocalSeg{Row: y}
 	bestDist := 0
 	for _, s := range g.RowSegments(y) {
@@ -315,14 +342,26 @@ func chooseLocalSeg(g *segment.Grid, d *design.Design, y int, winSpan geom.Span,
 				continue
 			}
 			c := d.Cell(id)
-			if c.X+c.W <= cur {
-				continue
-			}
-			if c.X >= base.Hi {
+			// Cells are x-sorted; once even the maximal inflation cannot
+			// reach base.Hi, no later cell can either. (Breaking on a
+			// fixed cell's own un-inflated span would be wrong: a later
+			// movable cell's inflated span could still intersect.)
+			if c.X-infl >= base.Hi {
 				break
 			}
-			emit(cur, min(c.X, base.Hi))
-			cur = max(cur, c.X+c.W)
+			cInf := 0
+			if infl > 0 && !c.Fixed {
+				cInf = infl
+			}
+			lo, hi := c.X-cInf, c.X+c.W+cInf
+			if hi <= cur {
+				continue
+			}
+			if lo >= base.Hi {
+				continue
+			}
+			emit(cur, min(lo, base.Hi))
+			cur = max(cur, hi)
 			if cur >= base.Hi {
 				break
 			}
@@ -363,6 +402,13 @@ func (r *Region) computeBounds() {
 		}
 		return cmp.Compare(ca.id, cb.id)
 	})
+	cons := sc.cons
+	if cons != nil {
+		// Per-row index of the most recently squeezed cell, for the
+		// pairwise gap terms. Reset before each pass.
+		sc.conPrev = grow(sc.conPrev, len(r.Segs))
+		fill32(sc.conPrev, -1)
+	}
 	sc.cursor = grow(sc.cursor, len(r.Segs))
 	for rel := range r.Segs {
 		if r.Segs[rel].Valid {
@@ -373,14 +419,43 @@ func (r *Region) computeBounds() {
 	}
 	for _, li := range sc.xOrder {
 		lc := &sc.cells[li]
-		xl := sc.cursor[r.RelRow(lc.y)]
-		for h := 1; h < lc.h; h++ {
-			xl = max(xl, sc.cursor[r.RelRow(lc.y+h)])
+		var xl int
+		if cons == nil {
+			xl = sc.cursor[r.RelRow(lc.y)]
+			for h := 1; h < lc.h; h++ {
+				xl = max(xl, sc.cursor[r.RelRow(lc.y+h)])
+			}
+		} else {
+			// Gap-aware squeeze: on each spanned row the cell must clear
+			// the previous cell plus the required pairwise gap, and its
+			// own NarrowX clamp (fence members stay inside their region
+			// even in the leftmost placement).
+			xl = int(^uint(0)>>1) * -1 // MinInt+1; overwritten below
+			for h := 0; h < lc.h; h++ {
+				rel := r.RelRow(lc.y + h)
+				c := sc.cursor[rel]
+				if p := sc.conPrev[rel]; p >= 0 {
+					c += cons.Gap(sc.cells[p].cls, lc.cls)
+				}
+				if h == 0 || c > xl {
+					xl = c
+				}
+			}
+			if lo, _ := cons.NarrowX(lc.cls, lc.w); lo > xl {
+				xl = lo
+			}
 		}
 		lc.xL = xl
 		for h := 0; h < lc.h; h++ {
-			sc.cursor[r.RelRow(lc.y+h)] = xl + lc.w
+			rel := r.RelRow(lc.y + h)
+			sc.cursor[rel] = xl + lc.w
+			if cons != nil {
+				sc.conPrev[rel] = li
+			}
 		}
+	}
+	if cons != nil {
+		fill32(sc.conPrev, -1)
 	}
 	for rel := range r.Segs {
 		if r.Segs[rel].Valid {
@@ -390,15 +465,34 @@ func (r *Region) computeBounds() {
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
-		lc := &sc.cells[sc.xOrder[i]]
+		li := sc.xOrder[i]
+		lc := &sc.cells[li]
 		xr := int(^uint(0) >> 1) // MaxInt
-		for h := 0; h < lc.h; h++ {
-			rel := r.RelRow(lc.y + h)
-			xr = min(xr, sc.cursor[rel]-lc.w)
+		if cons == nil {
+			for h := 0; h < lc.h; h++ {
+				rel := r.RelRow(lc.y + h)
+				xr = min(xr, sc.cursor[rel]-lc.w)
+			}
+		} else {
+			for h := 0; h < lc.h; h++ {
+				rel := r.RelRow(lc.y + h)
+				c := sc.cursor[rel]
+				if p := sc.conPrev[rel]; p >= 0 {
+					c -= cons.Gap(lc.cls, sc.cells[p].cls)
+				}
+				xr = min(xr, c-lc.w)
+			}
+			if _, hi := cons.NarrowX(lc.cls, lc.w); hi < xr {
+				xr = hi
+			}
 		}
 		lc.xR = xr
 		for h := 0; h < lc.h; h++ {
-			sc.cursor[r.RelRow(lc.y+h)] = xr
+			rel := r.RelRow(lc.y + h)
+			sc.cursor[rel] = xr
+			if cons != nil {
+				sc.conPrev[rel] = li
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
 )
@@ -109,6 +110,15 @@ type scratch struct {
 	curWinRank   int   // sorted rank of the window currently being searched
 	cutTruncated bool  // the sweep was truncated by tuneCut this attempt
 
+	// --- constraint plugins (armConstraints resets per attempt) ---
+	cons     *constraint.Set // active set; nil = none (byte-identical fast path)
+	conTCls  uint8           // composite class of the target cell
+	conTLo   int             // NarrowX left-edge clamp for the target (math.MinInt = open)
+	conTHi   int             // NarrowX clamp upper end (math.MaxInt = open)
+	conLBx   float64         // admissible horizontal bound term for the target
+	conPrev  []int32         // computeBounds per-row previous-cell index slab
+	conProbe []design.CellID // direct-probe neighbor scan buffer
+
 	// --- evaluation ---
 	lpts, rpts []float64
 	kL, kR     []int32 // dense clearances by local index; -1 = unreached
@@ -189,6 +199,7 @@ func (l *Legalizer) mergeScratch(sc *scratch) {
 	d.ExtractCacheMisses += s.ExtractCacheMisses
 	d.ExtractCacheInvalidations += s.ExtractCacheInvalidations
 	d.SeedBoundsApplied += s.SeedBoundsApplied
+	d.ConstraintFiltered += s.ConstraintFiltered
 	sc.stats = Stats{}
 	l.phases.add(sc.phases)
 	sc.phases = PhaseTimes{}

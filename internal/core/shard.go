@@ -395,7 +395,7 @@ func (l *Legalizer) shardAudit(w *shardWorker) []int {
 		l.om.auditRuns.Inc()
 	}
 	bad := l.Cfg.Faults != nil && l.Cfg.Faults.OnAudit()
-	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign}, 1)) > 0 {
+	if !bad && len(verify.Check(l.D, verify.Options{PowerAlignment: l.Cfg.PowerAlign, Extra: l.conCheck}, 1)) > 0 {
 		bad = true
 	}
 	if !bad && l.G.CheckConsistency() != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mrlegal/internal/bookshelf"
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/core"
 	"mrlegal/internal/design"
 	"mrlegal/internal/geom"
@@ -194,6 +195,10 @@ type ConfigJSON struct {
 	Shards           *int   `json:"shards,omitempty"`
 	CellTimeoutMS    *int64 `json:"cell_timeout_ms,omitempty"`
 	AuditEvery       *int   `json:"audit_every,omitempty"`
+	// Constraints is a ';'-separated constraint-plugin spec string
+	// (internal/constraint.Parse). It replaces the server's base set for
+	// this job; an explicit "" clears it.
+	Constraints *string `json:"constraints,omitempty"`
 }
 
 // jobPayload is the decoded, validated unit of work handed to the queue.
@@ -528,6 +533,13 @@ func applyConfig(base core.Config, cj *ConfigJSON, lim Limits) (core.Config, err
 	}
 	if cj.ExtractCache != nil {
 		cfg.ExtractCache = *cj.ExtractCache
+	}
+	if cj.Constraints != nil {
+		set, err := constraint.Parse(*cj.Constraints)
+		if err != nil {
+			return cfg, badf("config: constraints: %v", err)
+		}
+		cfg.Constraints = set
 	}
 	if cj.CellTimeoutMS != nil {
 		if *cj.CellTimeoutMS < 0 || time.Duration(*cj.CellTimeoutMS)*time.Millisecond > lim.MaxDeadline {

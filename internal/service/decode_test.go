@@ -9,6 +9,7 @@ import (
 
 	"mrlegal/internal/bengen"
 	"mrlegal/internal/bookshelf"
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/core"
 	"mrlegal/internal/iodesign"
 )
@@ -137,6 +138,7 @@ func TestDecodeSubmitRejects(t *testing.T) {
 		{"config shards over cap", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Shards: intp(64)}}), Limits{}},
 		{"config negative shards", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Shards: intp(-1)}}), Limits{}},
 		{"config bad cell timeout", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{CellTimeoutMS: int64p(-5)}}), Limits{}},
+		{"config bad constraints", submitJSON(t, SubmitRequest{DesignText: valid, Config: &ConfigJSON{Constraints: strp("zoneplate:q=1")}}), Limits{}},
 		{"design json empty rows", `{"design":{"name":"x","site_w":200,"site_h":2000,"masters":[],"cells":[],"rows":[]}}`, Limits{}},
 		{"design json row disorder", `{"design":{"name":"x","site_w":200,"site_h":2000,"rows":[{"y":1,"lo":0,"hi":10}],"masters":[],"cells":[]}}`, Limits{}},
 		{"design json nan position", `{"design":{"name":"x","site_w":200,"site_h":2000,"rows":[{"y":0,"lo":0,"hi":10}],"masters":[{"name":"m","width":1,"height":1,"rail":"VSS"}],"cells":[{"name":"c","master":0,"gx":1e999,"gy":0}]}}`, Limits{}},
@@ -169,5 +171,53 @@ func TestDecodeSubmitDeadlineCapped(t *testing.T) {
 	}
 }
 
+// TestDecodeSubmitConstraints checks the per-job constraint override:
+// a spec string replaces the server's base set, and an explicit ""
+// clears it (absence keeps the base).
+func TestDecodeSubmitConstraints(t *testing.T) {
+	base := core.DefaultConfig()
+	baseSet, err := constraint.Parse("spacing:gap=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Constraints = baseSet
+	valid := benchText(t, 5, 1)
+
+	p, err := DecodeSubmit(strings.NewReader(submitJSON(t, SubmitRequest{
+		DesignText: valid,
+		Config:     &ConfigJSON{Constraints: strp("fence:x0=0,y0=0,x1=10,y1=2;tpl:sep=1")},
+	})), base, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := constraint.Parse("fence:x0=0,y0=0,x1=10,y1=2;tpl:sep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Constraints.Signature() != want.Signature() {
+		t.Fatalf("constraints override lost: %q", p.cfg.Constraints.Signature())
+	}
+
+	p, err = DecodeSubmit(strings.NewReader(submitJSON(t, SubmitRequest{
+		DesignText: valid,
+		Config:     &ConfigJSON{Constraints: strp("")},
+	})), base, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.cfg.Constraints.Empty() {
+		t.Fatalf("explicit empty spec did not clear the base set: %q", p.cfg.Constraints.Signature())
+	}
+
+	p, err = DecodeSubmit(strings.NewReader(submitJSON(t, SubmitRequest{DesignText: valid})), base, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Constraints.Signature() != baseSet.Signature() {
+		t.Fatalf("absent field replaced the base set: %q", p.cfg.Constraints.Signature())
+	}
+}
+
 func intp(v int) *int       { return &v }
 func int64p(v int64) *int64 { return &v }
+func strp(v string) *string { return &v }

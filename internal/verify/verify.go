@@ -18,6 +18,11 @@ type Options struct {
 	// PowerAlignment enforces constraint 4 (even-height cells on matching
 	// rail parity rows).
 	PowerAlignment bool
+	// Extra holds additional rule checkers run after the base
+	// constraints — the oracle side of constraint plugins (see
+	// internal/constraint and docs/CONSTRAINTS.md). Each checker calls
+	// add per violation and must stop once add returns true.
+	Extra []func(d *design.Design, add func(Violation) bool)
 }
 
 // Violation describes one legality violation.
@@ -133,6 +138,21 @@ func Check(d *design.Design, opt Options, limit int) []Violation {
 					}
 				}
 			}
+		}
+	}
+
+	// Plugin checkers (constraint oracles) run after the base rules,
+	// honoring the same limit through add's stop signal.
+	for _, check := range opt.Extra {
+		stopped := false
+		check(d, func(v Violation) bool {
+			if add(v) {
+				stopped = true
+			}
+			return stopped
+		})
+		if stopped {
+			return out
 		}
 	}
 	return out

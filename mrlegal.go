@@ -39,6 +39,7 @@ import (
 	"io"
 
 	"mrlegal/internal/bengen"
+	"mrlegal/internal/constraint"
 	"mrlegal/internal/core"
 	"mrlegal/internal/design"
 	"mrlegal/internal/detailed"
@@ -229,6 +230,64 @@ func NewServer(cfg ServerConfig) (*Server, error) { return service.New(cfg) }
 // server to its stable machine-readable API code (docs/SERVICE.md lists
 // the taxonomy). Unknown errors map to "internal"; nil maps to "".
 func ErrorCode(err error) string { return service.ErrorCode(err) }
+
+// Constraint-plugin types (see docs/CONSTRAINTS.md). A ConstraintSet
+// attached to Config.Constraints threads three hooks through the MLL
+// pipeline: a feasibility filter on candidate positions, an admissible
+// additive term for the best-first lower bound (so pruning stays exact),
+// and a post-placement checker folded into Verify. A nil or empty set
+// keeps the engine byte-identical to an unconstrained run.
+type (
+	// Constraint is one placement-rule plugin.
+	Constraint = constraint.Constraint
+	// ConstraintSet is a validated, composed collection of plugins.
+	ConstraintSet = constraint.Set
+)
+
+// NewConstraintSet validates and composes plugins into a set for
+// Config.Constraints. An empty argument list yields an empty set (no-op).
+func NewConstraintSet(cons ...Constraint) (*ConstraintSet, error) {
+	return constraint.NewSet(cons...)
+}
+
+// NewFence builds a fence-region plugin: movable cells of height ≥ minH
+// must be placed entirely inside rect; shorter cells are unrestricted.
+func NewFence(rect Rect, minH int) (Constraint, error) {
+	f, err := constraint.NewFence(rect, minH)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewSpacing builds a minimum-edge-spacing plugin: two x-adjacent movable
+// cells of width ≥ minW on a shared row must be separated by at least gap
+// free sites.
+func NewSpacing(minW, gap int) (Constraint, error) {
+	s, err := constraint.NewSpacing(minW, gap)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewTPL builds a triple-patterning color-compatibility plugin: x-adjacent
+// movable cells whose masters hash to the same mask color need sep free
+// sites between them.
+func NewTPL(sep int) (Constraint, error) {
+	t, err := constraint.NewTPL(sep)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseConstraints parses the -constraints flag syntax — ";"-separated
+// plugin specs like "fence:x0=0,y0=0,x1=40,y1=8,minh=2;spacing:minw=2,gap=1;
+// tpl:sep=1" — into a set. Empty input yields (nil, nil).
+func ParseConstraints(s string) (*ConstraintSet, error) {
+	return constraint.Parse(s)
+}
 
 // Verification types.
 type (

@@ -24,3 +24,4 @@ check() {
 
 check mrlegal/internal/obs 90.0
 check mrlegal/internal/core 88.0
+check mrlegal/internal/constraint 90.0
