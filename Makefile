@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-constraints fuzz-submit fuzz-tune bench-json bench-smoke bench-shard-smoke bench-tune-smoke bench-constraint-smoke serve-smoke clean
+.PHONY: check vet build test race cover fuzz fuzz-search fuzz-cache fuzz-constraints fuzz-submit fuzz-tune fuzz-eco bench-json bench-smoke bench-shard-smoke bench-tune-smoke bench-constraint-smoke bench-eco-smoke serve-smoke clean
 
-check: vet build race cover bench-tune-smoke
+check: vet build race cover bench-tune-smoke bench-eco-smoke
 
 vet:
 	$(GO) vet ./...
@@ -64,11 +64,13 @@ bench-constraint-smoke:
 # Regenerate the benchmark artifacts: BENCH_parallel.json (scale-400
 # Table-1 flow once per worker count), BENCH_prune.json (best-first search
 # vs exhaustive sweep), BENCH_cache.json (extraction cache off vs on),
-# BENCH_shard.json (spatial sharding size x K sweep) and BENCH_tune.json
-# (adaptive search guidance: exhaustive / static / online / replay); see
-# docs/PERFORMANCE.md. Results depend on the machine; num_cpu,
-# go_max_procs and speedup_valid are recorded in the parallel and shard
-# artifacts — on a single-CPU box every speedup field is suppressed.
+# BENCH_shard.json (spatial sharding size x K sweep), BENCH_tune.json
+# (adaptive search guidance: exhaustive / static / online / replay) and
+# BENCH_eco.json (incremental session delta batches vs full
+# relegalization); see docs/PERFORMANCE.md. Results depend on the
+# machine; num_cpu, go_max_procs and speedup_valid are recorded in the
+# parallel, shard and eco artifacts — on a single-CPU box every speedup
+# field is suppressed.
 bench-json:
 	$(GO) run ./cmd/mrbench -experiment parallel -scale 400 -workers 1,2,4 \
 		-json BENCH_parallel.json -no-progress
@@ -80,6 +82,8 @@ bench-json:
 		-json BENCH_shard.json -no-progress
 	$(GO) run ./cmd/mrbench -experiment tune -scale 400 -rx 60 -ry 10 \
 		-json BENCH_tune.json -no-progress
+	$(GO) run ./cmd/mrbench -experiment eco -sizes 5000,20000 \
+		-delta-fracs 0.001,0.01,0.05 -json BENCH_eco.json -no-progress
 
 # Shard-parity smoke (CI gate): a small design legalized with 4 spatial
 # shards under the race detector must be byte-identical to the serial
@@ -111,6 +115,24 @@ fuzz-tune:
 fuzz-submit:
 	$(GO) test ./internal/service -run FuzzDecodeSubmit \
 		-fuzz FuzzDecodeSubmit -fuzztime 30s
+
+# Short fuzz session over the ECO delta-frame decoder: malformed frames
+# and hostile JSON must map to stable bad_request errors, never a panic
+# (docs/SERVICE.md §8).
+fuzz-eco:
+	$(GO) test ./internal/service -run FuzzDecodeDelta \
+		-fuzz FuzzDecodeDelta -fuzztime 30s
+
+# ECO-equivalence smoke (CI gate): on a Table-1 subset, session delta
+# batches applied over designs legalized with workers {1,4} x extraction
+# cache on/off must stay legal, pass the fixed-point oracle, and produce
+# cache-independent placements; plus the session engine's own suite and
+# the eco benchmark plumbing, all under the race detector
+# (docs/PERFORMANCE.md §9).
+bench-eco-smoke:
+	$(GO) test -race -short ./internal/core -run 'TestSession'
+	$(GO) test -race ./internal/experiments -run 'TestEcoEquivalence|TestRunEcoSmoke'
+	$(GO) test -race ./internal/service -run 'TestSession'
 
 # End-to-end exercise of the job server: build mrserve, submit a bench
 # over HTTP, compare the placement checksum against a direct library

@@ -17,6 +17,9 @@
 //	        -json BENCH_shard.json                   # spatial sharding sweep (§7)
 //	mrbench -experiment tune -scale 400 \
 //	        -json BENCH_tune.json                    # adaptive search guidance (§8)
+//	mrbench -experiment eco -sizes 5000,20000 \
+//	        -delta-fracs 0.001,0.01,0.05 \
+//	        -json BENCH_eco.json                     # incremental vs full relegalization (§9)
 //	mrbench -experiment table1 -skip-ilp -metrics \
 //	        -trace-out trace.jsonl                   # + Prometheus dump & JSONL trace
 package main
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache | shard | tune")
+		exp     = flag.String("experiment", "table1", "table1 | relax | evalablation | window | baselines | heightmix | order | scaling | parallel | prune | cache | shard | tune | eco")
 		scale   = flag.Int("scale", 200, "benchmark downscale factor (1 = paper-size, large = fast)")
 		skipILP = flag.Bool("skip-ilp", false, "skip the (slow) ILP baseline columns")
 		only    = flag.String("only", "", "comma-separated benchmark name filter")
@@ -51,8 +54,10 @@ func main() {
 		quietP  = flag.Bool("no-progress", false, "suppress per-benchmark progress lines")
 		workers = flag.String("workers", "", "comma-separated worker counts for -experiment parallel (default \"1,NumCPU\")")
 		shards  = flag.String("shards", "", "comma-separated shard counts for -experiment shard (default \"1,2,4,8\")")
-		sizes   = flag.String("sizes", "", "comma-separated synthetic design sizes for -experiment shard (default \"5000,20000\")")
-		jsonOut = flag.String("json", "", "write the parallel experiment's report as JSON to this file instead of a table")
+		sizes   = flag.String("sizes", "", "comma-separated synthetic design sizes for -experiment shard/eco (default \"5000,20000\")")
+
+		deltaFracs = flag.String("delta-fracs", "", "comma-separated perturbed-cell fractions for -experiment eco (default \"0.001,0.01,0.05\")")
+		jsonOut    = flag.String("json", "", "write the parallel experiment's report as JSON to this file instead of a table")
 
 		metrics   = flag.Bool("metrics", false, "emit the accumulated Prometheus text exposition once to stdout after the experiment (see docs/OBSERVABILITY.md)")
 		traceFlag = flag.String("trace-out", "", "write the per-cell JSONL placement trace of every run to this file")
@@ -264,6 +269,45 @@ func main() {
 		} else {
 			experiments.PrintTune(os.Stdout, rep)
 		}
+	case "eco":
+		sizeList, err := parseWorkers(*sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -sizes: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		fracList, err := parseFracs(*deltaFracs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mrbench: -delta-fracs: %v\n", err)
+			stop()
+			os.Exit(2)
+		}
+		ecfg := experiments.EcoConfig{
+			Sizes:      sizeList,
+			DeltaFracs: fracList,
+			Seed:       *seed,
+			Ctx:        ctx,
+		}
+		if !*quietP {
+			ecfg.Progress = os.Stderr
+		}
+		rep := experiments.RunEco(ecfg)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err == nil {
+				err = experiments.WriteEcoJSON(f, rep)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mrbench: %v\n", err)
+				stop()
+				os.Exit(1)
+			}
+		} else {
+			experiments.PrintEco(os.Stdout, rep)
+		}
 	case "cache":
 		rep := experiments.RunCache(cfg)
 		if *jsonOut != "" {
@@ -318,6 +362,22 @@ func contains(ss []string, s string) bool {
 		}
 	}
 	return false
+}
+
+// parseFracs parses a comma-separated list of fractions in (0, 1].
+func parseFracs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad delta fraction %q (want 0 < f <= 1)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // parseWorkers parses a comma-separated list of worker counts.

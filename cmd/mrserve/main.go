@@ -1,7 +1,10 @@
 // Command mrserve runs the legalization job server: an HTTP/JSON API
 // that accepts design submissions, legalizes them best-effort on a
 // bounded worker pool, and serves job status, reports and legalized
-// placements. See docs/SERVICE.md for the API.
+// placements. It also hosts incremental (ECO) legalization sessions:
+// a legalized design stays live server-side and clients stream framed
+// delta batches (move/resize/insert/delete) that relegalize only the
+// perturbed neighborhood. See docs/SERVICE.md for the API.
 //
 // Usage:
 //
@@ -44,6 +47,9 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain deadline; jobs still running after it are canceled")
 		maxBody    = flag.Int64("max-body", 64<<20, "maximum request body size in bytes")
 
+		maxSessions       = flag.Int("max-sessions", 0, "cap on concurrently open ECO sessions across all tenants (0 = default 16)")
+		sessionsPerTenant = flag.Int("sessions-per-tenant", 0, "cap on concurrently open ECO sessions per tenant (0 = default 4)")
+
 		rx      = flag.Int("rx", 30, "local region half-width Rx (sites)")
 		ry      = flag.Int("ry", 5, "local region half-height Ry (rows)")
 		noalign = flag.Bool("noalign", false, "relax the power-line alignment constraint")
@@ -58,7 +64,7 @@ func main() {
 	// fast with usage instead of silently running in a different mode.
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "workers", "max-workers", "max-shards":
+		case "workers", "max-workers", "max-shards", "max-sessions", "sessions-per-tenant":
 			if n, err := strconv.Atoi(f.Value.String()); err == nil && n <= 0 {
 				fmt.Fprintf(os.Stderr, "mrserve: -%s: count must be positive, got %d\n", f.Name, n)
 				flag.Usage()
@@ -98,6 +104,10 @@ func main() {
 			QueueBound: *queueBound,
 			PerTenant:  *perTenant,
 			JobTimeout: *jobTimeout,
+		},
+		Sessions: jobq.SessionConfig{
+			MaxSessions: *maxSessions,
+			PerTenant:   *sessionsPerTenant,
 		},
 		BaseCfg: &base,
 		Limits: service.Limits{

@@ -4,11 +4,17 @@
 // the newly inserted buffer."
 //
 // The example finds the longest nets of a legalized benchmark, inserts a
-// buffer at each net's center of gravity, and lets MLL carve out space
-// for it; nearby cells shift minimally and the placement stays legal.
+// buffer at each net's center of gravity through an incremental (ECO)
+// session — each insertion is one atomic delta batch that relegalizes
+// only the perturbed neighborhood — and then proves parity against the
+// full-relegalization path: the same buffers legalized from scratch on a
+// clone. Both placements must verify legal, and the session result must
+// pass the fixed-point oracle (a full legalization pass over it changes
+// nothing).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -33,6 +39,11 @@ func main() {
 	}
 	hpwl0 := nl.HPWL(d)
 
+	// The full-path clone: the same legal placement, before any buffer
+	// exists. The parity check at the end re-legalizes it from scratch
+	// with the identical buffer set.
+	fullPath := d.Clone()
+
 	// Rank nets by HPWL and pick the 50 longest for buffering.
 	type scored struct {
 		net  int
@@ -45,6 +56,20 @@ func main() {
 	sort.Slice(nets, func(i, j int) bool { return nets[i].hpwl > nets[j].hpwl })
 
 	buf := d.AddMaster(mrlegal.Master{Name: "BUF_X4", Width: 3, Height: 1, BottomRail: mrlegal.VSS})
+
+	// An ECO session over the legalized design: every insertion is one
+	// delta batch — atomic, locally relegalized, verified afterwards.
+	ses, err := mrlegal.NewSession(l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	type placedBuf struct {
+		name   string
+		cx, cy float64
+	}
+	var placed []placedBuf
 	inserted, failed := 0, 0
 	for _, s := range nets[:50] {
 		// Buffer at the net's center of gravity.
@@ -61,24 +86,65 @@ func main() {
 		cx /= float64(len(n.Pins))
 		cy /= float64(len(n.Pins))
 
-		id := d.AddCell(fmt.Sprintf("buf_%d", s.net), buf, cx, cy)
-		if !l.PlaceCell(id, cx, cy) {
+		name := fmt.Sprintf("buf_%d", s.net)
+		rep, err := ses.ApplyDelta(ctx, []mrlegal.Delta{{
+			Op: mrlegal.DeltaInsert, Master: buf, TX: cx, TY: cy, Name: name,
+		}})
+		if err != nil {
+			// The batch rolled back: the design is exactly as before this
+			// buffer — skip it and keep going.
 			failed++
 			continue
 		}
 		inserted++
-		c := d.Cell(id)
-		dist := math.Abs(float64(c.X)-cx) + math.Abs(float64(c.Y)-cy)*10
+		res := rep.Results[0]
+		placed = append(placed, placedBuf{name: name, cx: cx, cy: cy})
+		dist := math.Abs(float64(res.X)-cx) + math.Abs(float64(res.Y)-cy)*10
 		if dist > 60 {
-			fmt.Printf("  note: buffer %s landed %.1f sites from its ideal spot (dense region)\n", c.Name, dist)
+			fmt.Printf("  note: buffer %s landed %.1f sites from its ideal spot (dense region)\n", name, dist)
 		}
 		// Stitch the buffer into the net so HPWL accounting sees it.
-		n.Pins = append(n.Pins, mrlegal.Pin{Cell: id, DX: 1.5, DY: 0.5})
+		n.Pins = append(n.Pins, mrlegal.Pin{Cell: res.Cell, DX: 1.5, DY: 0.5})
 	}
 	if !mrlegal.IsLegal(d, mrlegal.VerifyOptions{RequirePlaced: true, PowerAlignment: true}) {
 		log.Fatal("placement became illegal")
 	}
-	fmt.Printf("inserted %d/%d buffers (%d failed); placement legal\n", inserted, inserted+failed, failed)
+
+	// Parity check 1 — the fixed-point oracle: a full legalization pass
+	// over the session's result must be a no-op.
+	fixed, err := ses.FixedPoint(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !fixed {
+		log.Fatal("fixed-point oracle failed: full legalization moved cells the session left behind")
+	}
+
+	// Parity check 2 — the full path: the identical buffer set added to
+	// the pre-insertion clone and legalized from scratch must also land
+	// legally. The session path reaches the same contract while touching
+	// only each buffer's neighborhood.
+	fullBuf := fullPath.AddMaster(mrlegal.Master{Name: "BUF_X4", Width: 3, Height: 1, BottomRail: mrlegal.VSS})
+	for _, pb := range placed {
+		fullPath.AddCell(pb.name, fullBuf, pb.cx, pb.cy)
+	}
+	fullPath.ResetPlacement()
+	fl, err := mrlegal.NewLegalizer(fullPath, mrlegal.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fl.Legalize(); err != nil {
+		log.Fatalf("full-relegalization path failed: %v", err)
+	}
+	if !mrlegal.IsLegal(fullPath, mrlegal.VerifyOptions{RequirePlaced: true, PowerAlignment: true}) {
+		log.Fatal("full-relegalization path is illegal")
+	}
+
+	stats := ses.Stats()
+	fmt.Printf("inserted %d/%d buffers (%d failed); placement legal, fixed-point holds, full path legal\n",
+		inserted, inserted+failed, failed)
+	fmt.Printf("session: %d batches, %d deltas, %d dirty cells, cache hit rate %.2f\n",
+		stats.Batches, stats.Deltas, stats.DirtyCells, stats.CacheHitRate)
 	fmt.Printf("HPWL before %.4g, after %.4g (buffers add pins, so a small increase is expected)\n",
 		hpwl0, nl.HPWL(d))
 }

@@ -267,6 +267,53 @@ func (l *Legalizer) cacheTrim() {
 	}
 }
 
+// cacheInvalidateRects drops every entry — from the shared table and
+// every shard table — whose window overlaps any of the given rects, and
+// returns the number dropped. The session engine calls it after a
+// committed delta batch with the batch's dirty region (session.go):
+// content signatures already make a stale entry self-invalidate on
+// lookup, so this proactive pass is about hit-rate accounting and memory,
+// never correctness — which is also why missing a rect could never
+// corrupt a placement.
+func (l *Legalizer) cacheInvalidateRects(rects []geom.Rect) int {
+	if len(rects) == 0 {
+		return 0
+	}
+	n := l.cache.invalidateRects(rects)
+	for _, cc := range l.shardCaches {
+		n += cc.invalidateRects(rects)
+	}
+	return n
+}
+
+// invalidateRects removes entries whose windows overlap any rect,
+// preserving the FIFO eviction order of the survivors.
+func (cc *extractCache) invalidateRects(rects []geom.Rect) int {
+	if cc == nil || len(cc.entries) == 0 {
+		return 0
+	}
+	n := 0
+	for key := range cc.entries {
+		for _, r := range rects {
+			if key.Overlaps(r) {
+				delete(cc.entries, key)
+				n++
+				break
+			}
+		}
+	}
+	if n > 0 {
+		keep := cc.order[:0]
+		for _, k := range cc.order {
+			if _, ok := cc.entries[k]; ok {
+				keep = append(keep, k)
+			}
+		}
+		cc.order = keep
+	}
+	return n
+}
+
 // trim evicts oldest-first down to capacity.
 func (cc *extractCache) trim(capN int) {
 	if cc == nil {

@@ -96,7 +96,7 @@ func (l *Legalizer) run(ctx context.Context) (*Report, error) {
 	var unplaced []design.CellID
 	for i := range l.D.Cells {
 		c := &l.D.Cells[i]
-		if !c.Fixed && !c.Placed {
+		if !c.Fixed && !c.Dead && !c.Placed {
 			unplaced = append(unplaced, c.ID)
 		}
 	}

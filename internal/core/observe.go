@@ -84,6 +84,16 @@ type obsMetrics struct {
 	tuneWindowsPromoted *obs.Counter
 	tuneWinCutSkips     *obs.Counter
 
+	// Incremental (ECO) session activity (session.go). The per-session
+	// extraction-cache hit rate is the quotient of the engine's cache
+	// counters over a session's lifetime and is exposed through
+	// Session.Stats; these series aggregate across sessions.
+	ecoSessionsActive   *obs.Gauge
+	ecoDeltaBatches     *obs.Counter
+	ecoDeltaCells       *obs.Counter
+	ecoDirtyCells       *obs.Counter
+	ecoCacheInvalidated *obs.Counter
+
 	// Distributions.
 	attemptSeconds *obs.Histogram
 	runSeconds     *obs.Histogram
@@ -144,6 +154,12 @@ func newObsMetrics(o *obs.Observer) *obsMetrics {
 		tuneArmPulls:        r.Counter("mrlegal_tune_arm_pulls_total", "Bandit arm pulls credited with a round's observed reward."),
 		tuneWindowsPromoted: r.Counter("mrlegal_tune_windows_promoted_total", "Best-first searches that opened the historically-winning window first."),
 		tuneWinCutSkips:     r.Counter("mrlegal_tune_wincut_skips_total", "Candidate windows skipped by the learned sweep cutoff."),
+
+		ecoSessionsActive:   r.Gauge("mrlegal_eco_sessions_active", "Incremental legalization sessions currently open on this engine."),
+		ecoDeltaBatches:     r.Counter("mrlegal_eco_delta_batches_total", "Committed incremental delta batches."),
+		ecoDeltaCells:       r.Counter("mrlegal_eco_delta_cells_total", "Cell-level deltas applied by committed batches."),
+		ecoDirtyCells:       r.Counter("mrlegal_eco_dirty_cells_total", "Distinct cells perturbed by committed delta batches (targets plus pushed neighbors)."),
+		ecoCacheInvalidated: r.Counter("mrlegal_eco_cache_invalidated_total", "Extraction-cache entries dropped because their windows overlapped a batch's dirty region."),
 
 		attemptSeconds: r.Histogram("mrlegal_attempt_seconds", "Wall time of one cell placement attempt (plan + commit).", nil),
 		runSeconds:     r.Histogram("mrlegal_run_seconds", "Wall time of one full legalization run.", nil),

@@ -102,6 +102,14 @@ type Cell struct {
 	// placement blockages.
 	Fixed bool
 
+	// Dead marks a logically deleted cell (an ECO delete). Cells[i].ID ==
+	// CellID(i) pins every instance to its slice slot for the life of the
+	// design, so deletion is a tombstone: a dead cell is never placed,
+	// never counted as work, and never checked — but its ID stays
+	// reserved. Delete sets it; the legalizer's session engine is the
+	// only writer.
+	Dead bool
+
 	// GX, GY is the input (global placement) position in fractional site
 	// units. Legalization displacement is measured against this point.
 	GX, GY float64
@@ -268,12 +276,38 @@ func (d *Design) Unplace(id CellID) {
 	d.Cells[id].Placed = false
 }
 
+// Delete tombstones a movable cell (see Cell.Dead). The caller must have
+// unplaced the cell (and removed it from any occupancy structure) first;
+// fixed cells cannot be deleted because they act as blockages other
+// placements already depend on.
+func (d *Design) Delete(id CellID) {
+	c := &d.Cells[id]
+	if c.Fixed {
+		panic(fmt.Sprintf("design: Delete %d (%s): cell is fixed", id, c.Name))
+	}
+	if c.Placed {
+		panic(fmt.Sprintf("design: Delete %d (%s): cell is still placed", id, c.Name))
+	}
+	c.Dead = true
+}
+
+// LiveCells returns the number of non-deleted cells.
+func (d *Design) LiveCells() int {
+	n := 0
+	for i := range d.Cells {
+		if !d.Cells[i].Dead {
+			n++
+		}
+	}
+	return n
+}
+
 // CellArea returns the total movable cell area in site units.
 func (d *Design) CellArea() int64 {
 	var a int64
 	for i := range d.Cells {
 		c := &d.Cells[i]
-		if c.Fixed {
+		if c.Fixed || c.Dead {
 			continue
 		}
 		a += int64(c.W) * int64(c.H)
@@ -362,6 +396,9 @@ func (d *Design) CellStats() Stats {
 	var s Stats
 	for i := range d.Cells {
 		c := &d.Cells[i]
+		if c.Dead {
+			continue
+		}
 		if c.Fixed {
 			s.Fixed++
 			continue

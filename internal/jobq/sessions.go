@@ -1,0 +1,253 @@
+package jobq
+
+// Session registry: the admission-control and lifecycle substrate for
+// long-lived incremental (ECO) legalization sessions (internal/service,
+// docs/SERVICE.md §8). Like the job queue it carries no knowledge of
+// legalization — a session holds an opaque payload — and enforces the
+// same discipline: bounded admission (global and per-tenant caps),
+// serialized access (one delta batch at a time per session, extra
+// callers queue on the session mutex so TCP flow control is the only
+// backpressure a client sees), and drain-aware shutdown (CloseAll waits
+// for every in-flight batch to finish before tearing a session down).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mrlegal/internal/obs"
+)
+
+// Session admission and lifecycle errors.
+var (
+	// ErrSessionLimit rejects an open because MaxSessions sessions are
+	// already active, or the tenant is at its per-tenant cap.
+	ErrSessionLimit = errors.New("jobq: session limit reached")
+
+	// ErrSessionNotFound marks a session ID the registry does not know
+	// (never opened, or already closed).
+	ErrSessionNotFound = errors.New("jobq: no such session")
+)
+
+// SessionConfig tunes a SessionRegistry. The zero value is usable.
+type SessionConfig struct {
+	// MaxSessions caps concurrently open sessions across all tenants.
+	// <= 0 means 16.
+	MaxSessions int
+
+	// PerTenant caps concurrently open sessions per tenant. <= 0 means 4.
+	PerTenant int
+
+	// Obs registers jobq_sessions_* metrics when non-nil.
+	Obs *obs.Observer
+}
+
+func (c *SessionConfig) defaults() {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.PerTenant <= 0 {
+		c.PerTenant = 4
+	}
+}
+
+// Session is one registered session. Payload access goes through Do,
+// which serializes callers; the registry never touches the payload.
+type Session struct {
+	id     string
+	tenant string
+	reg    *SessionRegistry
+
+	mu      sync.Mutex // serializes Do and Close teardown
+	payload any
+	closed  bool
+}
+
+// ID returns the registry-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// Tenant returns the owning tenant.
+func (s *Session) Tenant() string { return s.tenant }
+
+// Do runs fn with exclusive access to the session payload. Calls are
+// serialized per session; a call that arrives while another is in flight
+// blocks until its turn (the HTTP layer reads one delta frame at a time,
+// so this is where concurrent posts to one session queue up). Do returns
+// ErrSessionNotFound if the session was closed before fn could run.
+func (s *Session) Do(fn func(payload any) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: %s", ErrSessionNotFound, s.id)
+	}
+	return fn(s.payload)
+}
+
+// SessionRegistry tracks open sessions with bounded admission. The
+// zero-value is not usable; call NewSessionRegistry.
+type SessionRegistry struct {
+	cfg SessionConfig
+
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	perTenant map[string]int
+	seq       uint64
+	shutdown  bool
+
+	// onClose releases payload resources; set by the service so the
+	// registry stays payload-agnostic.
+	onClose func(payload any)
+
+	m *sessionMetrics
+}
+
+type sessionMetrics struct {
+	active   *obs.Gauge
+	opened   *obs.Counter
+	closed   *obs.Counter
+	rejected *obs.Counter
+}
+
+// NewSessionRegistry builds a registry. onClose (may be nil) runs once
+// per session, under the session lock, when the session is closed — the
+// hook for releasing engine resources.
+func NewSessionRegistry(cfg SessionConfig, onClose func(payload any)) *SessionRegistry {
+	cfg.defaults()
+	r := &SessionRegistry{
+		cfg:       cfg,
+		sessions:  make(map[string]*Session),
+		perTenant: make(map[string]int),
+		onClose:   onClose,
+	}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Registry()
+		r.m = &sessionMetrics{
+			active:   reg.Gauge("jobq_sessions_active", "Incremental legalization sessions currently open in the registry."),
+			opened:   reg.Counter("jobq_sessions_opened_total", "Sessions admitted by the registry."),
+			closed:   reg.Counter("jobq_sessions_closed_total", "Sessions closed (explicitly or by shutdown)."),
+			rejected: reg.Counter("jobq_sessions_rejected_total", "Session opens rejected by admission control."),
+		}
+	}
+	return r
+}
+
+// Open admits a new session for the tenant holding the given payload.
+// Admission fails with ErrSessionLimit at either cap and with
+// ErrShuttingDown after CloseAll began.
+func (r *SessionRegistry) Open(tenant string, payload any) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shutdown {
+		return nil, ErrShuttingDown
+	}
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		if r.m != nil {
+			r.m.rejected.Inc()
+		}
+		return nil, fmt.Errorf("%w: %d sessions active", ErrSessionLimit, len(r.sessions))
+	}
+	if r.perTenant[tenant] >= r.cfg.PerTenant {
+		if r.m != nil {
+			r.m.rejected.Inc()
+		}
+		return nil, fmt.Errorf("%w: tenant %q has %d sessions", ErrSessionLimit, tenant, r.perTenant[tenant])
+	}
+	r.seq++
+	s := &Session{id: fmt.Sprintf("s-%06d", r.seq), tenant: tenant, reg: r, payload: payload}
+	r.sessions[s.id] = s
+	r.perTenant[tenant]++
+	if r.m != nil {
+		r.m.opened.Inc()
+		r.m.active.Set(int64(len(r.sessions)))
+	}
+	return s, nil
+}
+
+// Get returns the open session with the given id.
+func (r *SessionRegistry) Get(id string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// Close ends the session with the given id, waiting for an in-flight Do
+// to finish first.
+func (r *SessionRegistry) Close(id string) error {
+	r.mu.Lock()
+	s, ok := r.sessions[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	r.unregisterLocked(s)
+	r.mu.Unlock()
+	s.teardown()
+	return nil
+}
+
+// unregisterLocked removes the session from the index. Caller holds r.mu.
+func (r *SessionRegistry) unregisterLocked(s *Session) {
+	delete(r.sessions, s.id)
+	if n := r.perTenant[s.tenant]; n <= 1 {
+		delete(r.perTenant, s.tenant)
+	} else {
+		r.perTenant[s.tenant] = n - 1
+	}
+	if r.m != nil {
+		r.m.closed.Inc()
+		r.m.active.Set(int64(len(r.sessions)))
+	}
+}
+
+// teardown closes the session under its own lock, so it blocks behind
+// any in-flight Do — the drain half of drain-aware shutdown.
+func (s *Session) teardown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.reg.onClose != nil {
+		s.reg.onClose(s.payload)
+	}
+	s.payload = nil
+}
+
+// CloseAll stops admission and closes every session, waiting for each
+// in-flight delta batch to finish (batches are bounded work — one frame —
+// so the wait is short by construction). New opens fail with
+// ErrShuttingDown from the moment CloseAll is entered.
+func (r *SessionRegistry) CloseAll() {
+	r.mu.Lock()
+	r.shutdown = true
+	all := make([]*Session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		all = append(all, s)
+	}
+	for _, s := range all {
+		r.unregisterLocked(s)
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		s.teardown()
+	}
+}
+
+// Active returns the number of open sessions.
+func (r *SessionRegistry) Active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// ActiveFor returns the number of open sessions for one tenant.
+func (r *SessionRegistry) ActiveFor(tenant string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perTenant[tenant]
+}

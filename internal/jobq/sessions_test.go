@@ -1,0 +1,158 @@
+package jobq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSessionRegistryCaps(t *testing.T) {
+	r := NewSessionRegistry(SessionConfig{MaxSessions: 3, PerTenant: 2}, nil)
+
+	a1, err := r.Open("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant cap.
+	if _, err := r.Open("a", 3); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("per-tenant overflow: err = %v, want ErrSessionLimit", err)
+	}
+	if _, err := r.Open("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Global cap.
+	if _, err := r.Open("c", 5); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("global overflow: err = %v, want ErrSessionLimit", err)
+	}
+	// Closing frees both caps.
+	if err := r.Close(a1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("c", 6); err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	if got := r.Active(); got != 3 {
+		t.Fatalf("Active = %d, want 3", got)
+	}
+	if got := r.ActiveFor("a"); got != 1 {
+		t.Fatalf("ActiveFor(a) = %d, want 1", got)
+	}
+}
+
+func TestSessionRegistryLifecycle(t *testing.T) {
+	var closed atomic.Int32
+	r := NewSessionRegistry(SessionConfig{}, func(p any) { closed.Add(1) })
+	s, err := r.Open("t", "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got any
+	if err := s.Do(func(p any) error { got = p; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("payload = %v", got)
+	}
+	if _, err := r.Get(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if closed.Load() != 1 {
+		t.Fatalf("onClose ran %d times, want 1", closed.Load())
+	}
+	if _, err := r.Get(s.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("Get after close: err = %v, want ErrSessionNotFound", err)
+	}
+	if err := r.Close(s.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("double close: err = %v, want ErrSessionNotFound", err)
+	}
+	// Do on a torn-down handle fails cleanly.
+	if err := s.Do(func(any) error { return nil }); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("Do after close: err = %v, want ErrSessionNotFound", err)
+	}
+}
+
+func TestSessionDoSerializes(t *testing.T) {
+	r := NewSessionRegistry(SessionConfig{}, nil)
+	s, err := r.Open("t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, maxInFlight atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Do(func(any) error {
+				n := inFlight.Add(1)
+				for {
+					m := maxInFlight.Load()
+					if n <= m || maxInFlight.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inFlight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if maxInFlight.Load() != 1 {
+		t.Fatalf("Do overlapped: max in flight = %d", maxInFlight.Load())
+	}
+}
+
+func TestSessionCloseAllDrains(t *testing.T) {
+	var closed atomic.Int32
+	r := NewSessionRegistry(SessionConfig{MaxSessions: 8}, func(any) { closed.Add(1) })
+	s1, _ := r.Open("a", nil)
+	_, _ = r.Open("b", nil)
+
+	// Hold a batch in flight; CloseAll must wait for it.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		_ = s1.Do(func(any) error {
+			close(started)
+			<-release
+			return nil
+		})
+		close(done)
+	}()
+	<-started
+	closeDone := make(chan struct{})
+	go func() { r.CloseAll(); close(closeDone) }()
+
+	// CloseAll unregisters every session before waiting out the drain;
+	// once the index is empty, admission must already be stopped.
+	for r.Active() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := r.Open("c", nil); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("open during shutdown: err = %v, want ErrShuttingDown", err)
+	}
+	select {
+	case <-closeDone:
+		t.Fatal("CloseAll returned while a batch was in flight")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	<-closeDone
+	if closed.Load() != 2 {
+		t.Fatalf("onClose ran %d times, want 2", closed.Load())
+	}
+	if r.Active() != 0 {
+		t.Fatalf("Active = %d after CloseAll", r.Active())
+	}
+}

@@ -38,6 +38,11 @@ type Limits struct {
 	// MaxShards caps the per-job spatial shard count a client may
 	// request. Default 16.
 	MaxShards int
+	// MaxDeltasPerBatch caps the deltas one session frame may carry.
+	// Default 10,000.
+	MaxDeltasPerBatch int
+	// MaxFrameBytes caps one session delta frame. Default 1 MiB.
+	MaxFrameBytes int
 }
 
 func (l *Limits) defaults() {
@@ -58,6 +63,12 @@ func (l *Limits) defaults() {
 	}
 	if l.MaxShards <= 0 {
 		l.MaxShards = 16
+	}
+	if l.MaxDeltasPerBatch <= 0 {
+		l.MaxDeltasPerBatch = 10_000
+	}
+	if l.MaxFrameBytes <= 0 {
+		l.MaxFrameBytes = 1 << 20
 	}
 }
 

@@ -38,6 +38,13 @@ const (
 	CodeJobNotFound      = "job_not_found"
 	CodeDeadlineExceeded = "deadline_exceeded"
 
+	// Incremental (ECO) sessions.
+	CodeSessionLimit    = "session_limit"
+	CodeSessionNotFound = "session_not_found"
+	CodeSessionClosed   = "session_closed"
+	CodeNotLegal        = "not_legal"
+	CodeUnknownCell     = "unknown_cell"
+
 	// Transport-level request problems.
 	CodeBadRequest   = "bad_request"
 	CodeBodyTooLarge = "body_too_large"
@@ -64,6 +71,11 @@ var codeTable = []struct {
 	{core.ErrRoundsExhausted, CodeRoundsExhausted},
 	{core.ErrRollbackFailed, CodeRollbackFailed},
 	{core.ErrTxnActive, CodeTxnActive},
+	{core.ErrNotLegal, CodeNotLegal},
+	{core.ErrSessionClosed, CodeSessionClosed},
+	{core.ErrUnknownCell, CodeUnknownCell},
+	{jobq.ErrSessionLimit, CodeSessionLimit},
+	{jobq.ErrSessionNotFound, CodeSessionNotFound},
 	{jobq.ErrQueueFull, CodeQueueFull},
 	{jobq.ErrTenantLimit, CodeTenantLimit},
 	{jobq.ErrShuttingDown, CodeShuttingDown},

@@ -62,3 +62,45 @@ func FuzzDecodeSubmit(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDelta asserts the same contract for the ECO session delta
+// decoder (delta.go): any frame payload — corrupt JSON, type confusion,
+// hostile numbers, stray or missing fields — must yield either a valid
+// batch or a bad_request error, never a panic. The committed corpus
+// (testdata/fuzz/FuzzDecodeDelta) pins regressions.
+func FuzzDecodeDelta(f *testing.F) {
+	// One well-formed batch of every op, then corruption shapes.
+	f.Add(`{"deltas":[{"op":"move","cell":3,"x":41.5,"y":2}]}`)
+	f.Add(`{"deltas":[{"op":"resize","cell":7,"w":4},{"op":"delete","cell":9}]}`)
+	f.Add(`{"deltas":[{"op":"insert","master":1,"x":10,"y":3,"name":"eco_buf"}]}`)
+	f.Add(`{"deltas":[{"op":"move","cell":3,"x":41.5,"y":2}`)      // truncated
+	f.Add(`{"deltas":[{"op":"move","cell":"three","x":1,"y":1}]}`) // type confusion
+	f.Add(`{"deltas":[{"op":"move","cell":3,"x":1e308,"y":-1e308}]}`)
+	f.Add(`{"deltas":[{"op":"move","cell":-1,"x":1,"y":1}]}`)
+	f.Add(`{"deltas":[{"op":"resize","cell":1,"w":-4}]}`)
+	f.Add(`{"deltas":[{"op":"insert","master":-2,"x":0,"y":0}]}`)
+	f.Add(`{"deltas":[{"op":"delete","cell":1,"w":4}]}`) // stray field
+	f.Add(`{"deltas":[{"op":"warp","cell":1}]}`)
+	f.Add(`{"deltas":[{"cell":1}]}`)
+	f.Add(`{"deltas":[]}`)
+	f.Add(`{"deltas":[{}]} {"deltas":[{}]}`) // trailing document
+	f.Add(`{"frobnicate":[]}`)
+	f.Add(`null`)
+	f.Add(``)
+
+	lim := Limits{MaxDeltasPerBatch: 64}
+	f.Fuzz(func(t *testing.T, payload string) {
+		ds, err := DecodeDeltaBatch([]byte(payload), lim)
+		if err == nil && len(ds) == 0 {
+			t.Fatal("empty batch with nil error")
+		}
+		if err != nil {
+			if ds != nil {
+				t.Fatal("non-nil batch alongside an error")
+			}
+			if code, ok := IsBadRequest(err); !ok || code == "" {
+				t.Fatalf("decode error is not a stable bad request: %v", err)
+			}
+		}
+	})
+}

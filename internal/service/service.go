@@ -57,6 +57,11 @@ type Config struct {
 	// registry field is overwritten with the server's own registry.
 	Queue jobq.Config
 
+	// Sessions configures incremental (ECO) session admission: global
+	// and per-tenant caps. Its Obs field is overwritten with the
+	// server's own observer.
+	Sessions jobq.SessionConfig
+
 	// BaseCfg is the legalizer configuration jobs start from; per-job
 	// config overrides apply on top. Zero means core.DefaultConfig with
 	// Workers=1 (the pool supplies cross-job parallelism).
@@ -96,14 +101,15 @@ type Config struct {
 // Server is the legalization job server. Create with New, start with
 // Start (or drive the full lifecycle with Run), stop with Close.
 type Server struct {
-	cfg     Config
-	base    core.Config
-	obs     *obs.Observer
-	q       *jobq.Queue
-	mux     *http.ServeMux
-	httpSrv *http.Server
-	ln      net.Listener
-	log     *log.Logger
+	cfg      Config
+	base     core.Config
+	obs      *obs.Observer
+	q        *jobq.Queue
+	sessions *jobq.SessionRegistry
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ln       net.Listener
+	log      *log.Logger
 
 	ready    atomic.Bool
 	httpReqs func(route string, status int)
@@ -151,6 +157,14 @@ func New(cfg Config) (*Server, error) {
 	qcfg.Obs = reg
 	s.q = jobq.New(qcfg, s.runJob)
 
+	scfg := cfg.Sessions
+	scfg.Obs = s.obs
+	s.sessions = jobq.NewSessionRegistry(scfg, func(payload any) {
+		if st, ok := payload.(*sessionState); ok {
+			st.ses.Close()
+		}
+	})
+
 	s.mux = http.NewServeMux()
 	s.mux.Handle("GET /metrics", obs.MetricsHandler(reg))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -160,6 +174,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/placement", s.handlePlacement)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.handleSessionDeltas)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/checkpoint", s.handleSessionCheckpoint)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 
 	// Slowloris and stuck-writer defenses: every stage of a connection
 	// has a deadline. Submissions are bounded JSON documents and results
@@ -232,6 +250,11 @@ func (s *Server) Close() error {
 		s.log.Printf("mrserve: drain deadline expired; in-flight jobs canceled")
 	}
 
+	// Sessions drain after the queue: admission is already closed (ready
+	// is false), and CloseAll waits out any delta batch still applying
+	// before tearing each session down.
+	s.sessions.CloseAll()
+
 	// The job queue is settled; give in-flight HTTP exchanges (status
 	// polls, result fetches) a short grace period of their own.
 	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -254,6 +277,10 @@ func (s *Server) Close() error {
 // Queue exposes the underlying job queue (tests and the smoke driver
 // inspect depth/in-flight counts).
 func (s *Server) Queue() *jobq.Queue { return s.q }
+
+// Sessions exposes the ECO session registry (tests and the smoke driver
+// inspect active counts).
+func (s *Server) Sessions() *jobq.SessionRegistry { return s.sessions }
 
 // runJob is the jobq Runner: it builds a legalizer over the job's
 // private design and runs best-effort legalization under the job's

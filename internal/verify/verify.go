@@ -53,7 +53,7 @@ func Check(d *design.Design, opt Options, limit int) []Violation {
 
 	for i := range d.Cells {
 		c := &d.Cells[i]
-		if c.Fixed {
+		if c.Fixed || c.Dead {
 			continue
 		}
 		if !c.Placed {

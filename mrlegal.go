@@ -175,7 +175,44 @@ var (
 	ErrRoundsExhausted  = core.ErrRoundsExhausted
 	ErrRollbackFailed   = core.ErrRollbackFailed
 	ErrTxnActive        = core.ErrTxnActive
+	ErrNotLegal         = core.ErrNotLegal
+	ErrSessionClosed    = core.ErrSessionClosed
+	ErrUnknownCell      = core.ErrUnknownCell
 )
+
+// Incremental (ECO) legalization sessions (see docs/SERVICE.md §8 and
+// docs/PERFORMANCE.md §9): a Session keeps a design legal across batches
+// of cell-level deltas, relegalizing only the perturbed neighborhood.
+type (
+	// Session is a long-lived incremental legalization context over one
+	// legalizer; open with NewSession after a full Legalize.
+	Session = core.Session
+	// Delta is one cell-level edit: a move, resize, insert or delete.
+	Delta = core.Delta
+	// DeltaOp selects the kind of edit a Delta performs.
+	DeltaOp = core.DeltaOp
+	// DeltaResult is the realized outcome of one delta.
+	DeltaResult = core.DeltaResult
+	// DeltaReport summarizes one committed batch: results, dirty region,
+	// cache activity.
+	DeltaReport = core.DeltaReport
+	// SessionStats is a session's lifetime activity counters.
+	SessionStats = core.SessionStats
+)
+
+// Delta operations.
+const (
+	DeltaMove   = core.DeltaMove
+	DeltaResize = core.DeltaResize
+	DeltaInsert = core.DeltaInsert
+	DeltaDelete = core.DeltaDelete
+)
+
+// NewSession opens an incremental session on a legalizer whose design is
+// fully legal (run Legalize first). Batches applied through
+// Session.ApplyDelta are atomic: on failure the design returns to its
+// prior legal state.
+func NewSession(l *Legalizer) (*Session, error) { return core.NewSession(l) }
 
 // Observability types (see docs/OBSERVABILITY.md). Attach an Observer via
 // Config.Obs to collect metrics and per-cell trace events; a nil observer
